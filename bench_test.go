@@ -1,0 +1,276 @@
+package allsatpre
+
+// Benchmark harness: one Benchmark per table/figure of the evaluation
+// (DESIGN.md §4). Sub-benchmarks are named <workload>/<engine> so
+//
+//	go test -bench=Table1 -benchmem
+//
+// regenerates the corresponding table's measurements; cmd/experiments
+// prints the same data as formatted tables with derived columns.
+
+import (
+	"fmt"
+	"testing"
+
+	"allsatpre/internal/allsat"
+	"allsatpre/internal/circuit"
+	"allsatpre/internal/core"
+	"allsatpre/internal/cube"
+	"allsatpre/internal/experiments"
+	"allsatpre/internal/gen"
+	"allsatpre/internal/preimage"
+	"allsatpre/internal/trans"
+)
+
+// cappedOpts applies the harness's blocking-cube cap (see
+// experiments.BlockingCubeCap) so the baselines' blowup on the largest
+// workloads does not stall the benchmark run; capped iterations measure
+// "time to the cap", mirroring timeout rows in the paper-style tables.
+func cappedOpts(eng preimage.Engine) preimage.Options {
+	opts := preimage.Options{Engine: eng}
+	if eng == preimage.EngineBlocking || eng == preimage.EngineLifting {
+		opts.AllSAT = allsat.Options{MaxCubes: experiments.BlockingCubeCap}
+	}
+	return opts
+}
+
+// benchTarget mirrors the experiment harness's target choice: the cube
+// around a provably producible next state with every fifth position free.
+func benchTarget(c *circuit.Circuit) *cube.Cover {
+	n := len(c.Latches)
+	sim, err := circuit.NewSimulator(c)
+	if err != nil {
+		panic(err)
+	}
+	st := make([]bool, n)
+	in := make([]bool, len(c.Inputs))
+	h := uint32(2166136261)
+	for _, ch := range c.Name {
+		h = (h ^ uint32(ch)) * 16777619
+	}
+	for i := range st {
+		h = h*1664525 + 1013904223
+		st[i] = h>>16&1 == 1
+	}
+	for i := range in {
+		h = h*1664525 + 1013904223
+		in[i] = h>>16&1 == 1
+	}
+	_, next := sim.Step(st, in)
+	pat := make([]byte, n)
+	fixed := 0
+	for i := range pat {
+		if i%5 == 4 {
+			pat[i] = 'X'
+			continue
+		}
+		if next[i] {
+			pat[i] = '1'
+		} else {
+			pat[i] = '0'
+		}
+		fixed++
+	}
+	if fixed == 0 {
+		pat[0] = '0'
+		if next[0] {
+			pat[0] = '1'
+		}
+	}
+	return trans.TargetFromPatterns(n, string(pat))
+}
+
+func benchPreimage(b *testing.B, c *circuit.Circuit, target *cube.Cover, opts preimage.Options) {
+	b.Helper()
+	b.ReportAllocs()
+	var states int64
+	for i := 0; i < b.N; i++ {
+		r, err := preimage.Compute(c, target, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		states = r.Count.Int64()
+	}
+	b.ReportMetric(float64(states), "states")
+}
+
+// BenchmarkTable1 — single-step preimage across the three SAT engines
+// (blocking, lifting, success-driven) on the benchmark suite.
+func BenchmarkTable1(b *testing.B) {
+	engines := []preimage.Engine{
+		preimage.EngineBlocking, preimage.EngineLifting, preimage.EngineSuccessDriven,
+	}
+	for _, nc := range gen.Suite() {
+		target := benchTarget(nc.Circuit)
+		for _, eng := range engines {
+			b.Run(fmt.Sprintf("%s/%s", nc.Name, eng), func(b *testing.B) {
+				benchPreimage(b, nc.Circuit, target, cappedOpts(eng))
+			})
+		}
+	}
+}
+
+// BenchmarkTable2 — the success-driven SAT engine vs the BDD
+// relational-product engine, including the BDD-hostile multiplier cores.
+func BenchmarkTable2(b *testing.B) {
+	suite := append(gen.Suite(),
+		gen.NamedCircuit{Name: "mult6", Circuit: gen.MultCore(6)},
+		gen.NamedCircuit{Name: "mult8", Circuit: gen.MultCore(8)},
+	)
+	for _, nc := range suite {
+		target := benchTarget(nc.Circuit)
+		for _, eng := range []preimage.Engine{preimage.EngineSuccessDriven, preimage.EngineBDD} {
+			b.Run(fmt.Sprintf("%s/%s", nc.Name, eng), func(b *testing.B) {
+				benchPreimage(b, nc.Circuit, target, preimage.Options{Engine: eng})
+			})
+		}
+	}
+}
+
+// BenchmarkTable3 — multi-step backward reachability (step-capped).
+func BenchmarkTable3(b *testing.B) {
+	suite := []gen.NamedCircuit{
+		{Name: "counter8", Circuit: gen.Counter(8, true, false)},
+		{Name: "johnson8", Circuit: gen.Johnson(8)},
+		{Name: "traffic", Circuit: gen.TrafficLight()},
+		{Name: "slike1", Circuit: gen.SLike(gen.SLikeParams{Seed: 1, Inputs: 6, Latches: 6, Gates: 60})},
+	}
+	engines := []preimage.Engine{
+		preimage.EngineSuccessDriven, preimage.EngineBlocking, preimage.EngineBDD,
+	}
+	for _, nc := range suite {
+		target := benchTarget(nc.Circuit)
+		for _, eng := range engines {
+			b.Run(fmt.Sprintf("%s/%s", nc.Name, eng), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := preimage.Reach(nc.Circuit, target, 6, preimage.Options{Engine: eng}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig1 — runtime vs solution count: target-size sweep on a
+// 16-bit counter (k free bits → ~2^k solutions), blocking vs the
+// success-driven solver.
+func BenchmarkFig1(b *testing.B) {
+	const width = 16
+	c := gen.Counter(width, true, false)
+	for _, k := range []int{2, 4, 6, 8, 10} {
+		pat := make([]byte, width)
+		for i := range pat {
+			switch {
+			case i < k:
+				pat[i] = 'X'
+			case i%2 == 0:
+				pat[i] = '1'
+			default:
+				pat[i] = '0'
+			}
+		}
+		target := trans.TargetFromPatterns(width, string(pat))
+		for _, eng := range []preimage.Engine{preimage.EngineBlocking, preimage.EngineSuccessDriven} {
+			b.Run(fmt.Sprintf("free%d/%s", k, eng), func(b *testing.B) {
+				benchPreimage(b, c, target, cappedOpts(eng))
+			})
+		}
+	}
+}
+
+// BenchmarkFig2 — success-driven learning ablation: memoization on vs off
+// over growing random circuits.
+func BenchmarkFig2(b *testing.B) {
+	for _, g := range []int{40, 80, 160, 320} {
+		c := gen.SLike(gen.SLikeParams{Seed: 5, Inputs: 8, Latches: 8, Gates: g})
+		target := benchTarget(c)
+		for _, memo := range []bool{false, true} {
+			name := fmt.Sprintf("g%d/memo-off", g)
+			if memo {
+				name = fmt.Sprintf("g%d/memo-on", g)
+			}
+			opts := preimage.Options{Engine: preimage.EngineSuccessDriven}
+			opts.Core = core.Options{EnableMemo: memo, EnableLearning: true}
+			b.Run(name, func(b *testing.B) {
+				benchPreimage(b, c, target, opts)
+			})
+		}
+	}
+}
+
+// BenchmarkFig3 — cube enlargement: blocking vs lifting enumeration cost
+// on the suite (cube counts are reported by cmd/experiments -only fig3).
+func BenchmarkFig3(b *testing.B) {
+	for _, nc := range gen.Suite() {
+		target := benchTarget(nc.Circuit)
+		for _, eng := range []preimage.Engine{preimage.EngineBlocking, preimage.EngineLifting} {
+			b.Run(fmt.Sprintf("%s/%s", nc.Name, eng), func(b *testing.B) {
+				benchPreimage(b, nc.Circuit, target, cappedOpts(eng))
+			})
+		}
+	}
+}
+
+// BenchmarkFig4 — XOR-richness sweep: success-driven vs BDD on the random
+// family as the logic becomes XOR-dominated.
+func BenchmarkFig4(b *testing.B) {
+	for _, xf := range []float64{0.05, 0.25, 0.5} {
+		c := gen.SLike(gen.SLikeParams{Seed: 9, Inputs: 8, Latches: 8, Gates: 150, XorFraction: xf})
+		target := benchTarget(c)
+		for _, eng := range []preimage.Engine{preimage.EngineSuccessDriven, preimage.EngineBDD} {
+			b.Run(fmt.Sprintf("xf%.2f/%s", xf, eng), func(b *testing.B) {
+				benchPreimage(b, c, target, preimage.Options{Engine: eng})
+			})
+		}
+	}
+}
+
+// BenchmarkTable5 — BDD variable-order ablation (interleaved (s,s') pairs
+// vs segregated blocks).
+func BenchmarkTable5(b *testing.B) {
+	suite := []gen.NamedCircuit{
+		{Name: "counter12", Circuit: gen.Counter(12, true, false)},
+		{Name: "gray6", Circuit: gen.GrayCounter(6)},
+		{Name: "mult6", Circuit: gen.MultCore(6)},
+	}
+	for _, nc := range suite {
+		target := benchTarget(nc.Circuit)
+		for _, seg := range []bool{false, true} {
+			name := nc.Name + "/interleaved"
+			if seg {
+				name = nc.Name + "/segregated"
+			}
+			b.Run(name, func(b *testing.B) {
+				benchPreimage(b, nc.Circuit, target,
+					preimage.Options{Engine: preimage.EngineBDD, BDDSegregatedOrder: seg})
+			})
+		}
+	}
+}
+
+// BenchmarkTable4 — decision-order ablation for the success-driven engine.
+func BenchmarkTable4(b *testing.B) {
+	suite := []gen.NamedCircuit{
+		{Name: "counter10", Circuit: gen.Counter(10, true, false)},
+		{Name: "gray6", Circuit: gen.GrayCounter(6)},
+		{Name: "slike1", Circuit: gen.SLike(gen.SLikeParams{Seed: 1, Inputs: 6, Latches: 6, Gates: 60})},
+	}
+	orders := []struct {
+		name string
+		opts preimage.Options
+	}{
+		{"state-first", preimage.Options{Engine: preimage.EngineSuccessDriven}},
+		{"input-first", preimage.Options{Engine: preimage.EngineSuccessDriven, InputFirstOrder: true}},
+		{"interleave", preimage.Options{Engine: preimage.EngineSuccessDriven, Interleave: true}},
+	}
+	for _, nc := range suite {
+		target := benchTarget(nc.Circuit)
+		for _, o := range orders {
+			b.Run(fmt.Sprintf("%s/%s", nc.Name, o.name), func(b *testing.B) {
+				benchPreimage(b, nc.Circuit, target, o.opts)
+			})
+		}
+	}
+}

@@ -1,0 +1,57 @@
+// Command benchgen writes a generated benchmark circuit as an ISCAS-89
+// BENCH file to stdout.
+//
+// Usage:
+//
+//	benchgen counter:8 > counter8.bench
+//	benchgen slike:3,220,10,10 > slike3.bench
+//	benchgen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"allsatpre/internal/aig"
+	"allsatpre/internal/circuit"
+	"allsatpre/internal/gen"
+	"allsatpre/internal/genspec"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the standard benchmark suite and exit")
+	asAag := flag.Bool("aag", false, "emit AIGER ASCII instead of BENCH")
+	flag.Parse()
+	if *list {
+		for _, nc := range gen.Suite() {
+			fmt.Printf("%-10s %s\n", nc.Name, nc.Circuit.Stats())
+		}
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchgen spec   (e.g. counter:8, lfsr:8,0,3,4,5, slike:1,60,6,6)")
+		os.Exit(2)
+	}
+	c, err := genspec.Resolve(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+	if *asAag {
+		g, err := aig.FromCircuit(c)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgen:", err)
+			os.Exit(1)
+		}
+		if err := aig.WriteAiger(os.Stdout, g); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := circuit.WriteBench(os.Stdout, c); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+}

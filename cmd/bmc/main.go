@@ -1,0 +1,77 @@
+// Command bmc runs bounded model checking: it searches for an input
+// sequence of length ≤ bound driving the circuit from an initial state
+// set into a bad state set, by time-frame expansion with incremental SAT.
+//
+// Usage:
+//
+//	bmc [-bound N] circuit.bench|spec INIT-PATTERN BAD-PATTERN...
+//
+// Exit status: 0 counterexample found, 3 none within the bound.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"allsatpre"
+	"allsatpre/internal/genspec"
+	"allsatpre/internal/stats"
+)
+
+func main() {
+	bound := flag.Int("bound", 20, "maximum counterexample length")
+	flag.Parse()
+	if flag.NArg() < 3 {
+		fmt.Fprintln(os.Stderr, "usage: bmc [flags] circuit INIT-PATTERN BAD-PATTERN [BAD-PATTERN ...]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	c, err := genspec.Resolve(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	init, err := allsatpre.Target(c, flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	bad, err := allsatpre.Target(c, flag.Args()[2:]...)
+	if err != nil {
+		fatal(err)
+	}
+	t := stats.StartTimer()
+	res, err := allsatpre.BMC(c, init, bad, *bound)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("circuit: %s\n", c.Stats())
+	if !res.Reachable {
+		fmt.Printf("NO counterexample within bound %d (%d solves, %v)\n",
+			*bound, res.Solves, t.Elapsed())
+		os.Exit(3)
+	}
+	fmt.Printf("COUNTEREXAMPLE of length %d (%d solves, %v)\n", res.Depth, res.Solves, t.Elapsed())
+	for i, st := range res.Trace.States {
+		fmt.Printf("  state %2d: %s\n", i, bits(st))
+		if i < len(res.Trace.Inputs) {
+			fmt.Printf("  input %2d: %s\n", i, bits(res.Trace.Inputs[i]))
+		}
+	}
+}
+
+func bits(b []bool) string {
+	out := make([]byte, len(b))
+	for i, v := range b {
+		if v {
+			out[i] = '1'
+		} else {
+			out[i] = '0'
+		}
+	}
+	return string(out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bmc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,110 @@
+// Command mc is an unbounded safety model checker built on iterated
+// preimage computation: it decides whether a bad state set is reachable
+// from an initial state set and prints either a concrete counterexample
+// trace or the fixpoint proof of unreachability.
+//
+// Usage:
+//
+//	mc [-engine success|blocking|lifting|bdd] [-steps N] \
+//	   circuit.bench|spec INIT-PATTERN BAD-PATTERN...
+//
+// The first pattern is the initial state set; the remaining patterns are
+// the union of bad-state cubes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"allsatpre"
+	"allsatpre/internal/circuit"
+	"allsatpre/internal/genspec"
+	"allsatpre/internal/stats"
+)
+
+func main() {
+	engine := flag.String("engine", "success", "engine: success | blocking | lifting | bdd")
+	steps := flag.Int("steps", 0, "maximum preimage iterations (<= 0: unbounded)")
+	vcd := flag.String("vcd", "", "write the counterexample trace as a VCD waveform here")
+	flag.Parse()
+	if flag.NArg() < 3 {
+		fmt.Fprintln(os.Stderr, "usage: mc [flags] circuit INIT-PATTERN BAD-PATTERN [BAD-PATTERN ...]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	c, err := genspec.Resolve(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	eng, err := genspec.Engine(*engine)
+	if err != nil {
+		fatal(err)
+	}
+	init, err := allsatpre.Target(c, flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	bad, err := allsatpre.Target(c, flag.Args()[2:]...)
+	if err != nil {
+		fatal(err)
+	}
+
+	t := stats.StartTimer()
+	res, err := allsatpre.CheckReachable(c, init, bad, *steps, allsatpre.Options{Engine: eng})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("circuit: %s\n", c.Stats())
+	switch {
+	case res.Reachable:
+		fmt.Printf("REACHABLE in %d steps (%v)\n", res.Steps, t.Elapsed())
+		fmt.Println("counterexample trace (state / inputs):")
+		for i, st := range res.Trace.States {
+			fmt.Printf("  state %2d: %s\n", i, bits(st))
+			if i < len(res.Trace.Inputs) {
+				fmt.Printf("  input %2d: %s\n", i, bits(res.Trace.Inputs[i]))
+			}
+		}
+		if *vcd != "" {
+			f, err := os.Create(*vcd)
+			if err != nil {
+				fatal(err)
+			}
+			if err := circuit.WriteVCD(f, c, res.Trace.States, res.Trace.Inputs); err != nil {
+				fatal(err)
+			}
+			f.Close()
+			fmt.Printf("waveform written to %s\n", *vcd)
+		}
+	case res.Complete:
+		fmt.Printf("UNREACHABLE — backward fixpoint after %d iterations (%v)\n",
+			res.Steps, t.Elapsed())
+		if res.Invariant != nil {
+			if err := allsatpre.VerifyInvariant(c, init, bad, res.Invariant, allsatpre.Options{Engine: eng}); err != nil {
+				fatal(fmt.Errorf("invariant certificate failed verification: %w", err))
+			}
+			fmt.Printf("inductive invariant certificate verified (%d cubes)\n", res.Invariant.Len())
+		}
+	default:
+		fmt.Printf("UNDECIDED after %d iterations (step cap hit, %v)\n", res.Steps, t.Elapsed())
+		os.Exit(3)
+	}
+}
+
+func bits(b []bool) string {
+	out := make([]byte, len(b))
+	for i, v := range b {
+		if v {
+			out[i] = '1'
+		} else {
+			out[i] = '0'
+		}
+	}
+	return string(out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,65 @@
+// Command reach runs backward reachability from a target state set,
+// printing the frontier sizes per step.
+//
+// Usage:
+//
+//	reach [-engine success|blocking|lifting|bdd] [-steps N] \
+//	      circuit.bench|spec pattern [pattern ...]
+//
+// -steps <= 0 (the default) runs to the fixpoint.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"allsatpre"
+	"allsatpre/internal/genspec"
+	"allsatpre/internal/stats"
+)
+
+func main() {
+	engine := flag.String("engine", "success", "engine: success | blocking | lifting | bdd")
+	steps := flag.Int("steps", 0, "maximum preimage steps (<= 0: run to fixpoint)")
+	flag.Parse()
+	if flag.NArg() < 2 {
+		fmt.Fprintln(os.Stderr, "usage: reach [flags] circuit.bench|spec pattern [pattern ...]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	c, err := genspec.Resolve(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	eng, err := genspec.Engine(*engine)
+	if err != nil {
+		fatal(err)
+	}
+	t := stats.StartTimer()
+	r, err := allsatpre.BackwardReach(c, allsatpre.Options{Engine: eng}, *steps, flag.Args()[1:]...)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("circuit: %s\n", c.Stats())
+	fmt.Printf("engine:  %s\n", eng)
+	tb := stats.NewTable("backward reachability", "step", "new-states", "cubes")
+	for k := range r.Frontiers {
+		tb.AddRow(k, r.FrontierCounts[k].String(), r.Frontiers[k].Len())
+	}
+	tb.Render(os.Stdout)
+	fmt.Printf("total states: %s   fixpoint: %v   steps: %d   time: %v\n",
+		r.AllCount, r.Fixpoint, r.Steps, t.Elapsed())
+	if r.Stats.Decisions > 0 {
+		fmt.Printf("decisions: %d  conflicts: %d  solutions: %d\n",
+			r.Stats.Decisions, r.Stats.Conflicts, r.Stats.Solutions)
+	}
+	if r.Stats.CacheLookups > 0 {
+		fmt.Printf("memo: %d/%d hits\n", r.Stats.CacheHits, r.Stats.CacheLookups)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "reach:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,100 @@
+// Command satcheck is a plain DIMACS SAT solver front end with DRUP
+// proof emission and built-in proof checking.
+//
+// Usage:
+//
+//	satcheck [-proof out.drup] [-verify] [-model] file.cnf|-
+//
+// Exit status: 10 satisfiable, 20 unsatisfiable (the conventional SAT
+// competition codes), 1 on error.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"allsatpre/internal/cnf"
+	"allsatpre/internal/sat"
+)
+
+func main() {
+	proofPath := flag.String("proof", "", "write a DRUP proof here on UNSAT")
+	verify := flag.Bool("verify", false, "self-check the DRUP proof after an UNSAT answer")
+	model := flag.Bool("model", false, "print the model as a DIMACS v-line on SAT")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: satcheck [flags] file.cnf|-")
+		flag.PrintDefaults()
+		os.Exit(1)
+	}
+
+	var in io.Reader
+	if flag.Arg(0) == "-" {
+		in = os.Stdin
+	} else {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	formula, _, err := cnf.ParseDimacs(in)
+	if err != nil {
+		fatal(err)
+	}
+
+	var proofBuf bytes.Buffer
+	s := sat.FromFormula(formula, sat.DefaultOptions())
+	if *proofPath != "" || *verify {
+		s.SetProofWriter(&proofBuf)
+	}
+	st := s.Solve()
+	s.FlushProof()
+	stats := s.Stats()
+	fmt.Printf("c vars=%d clauses=%d decisions=%d conflicts=%d propagations=%d\n",
+		formula.NumVars, len(formula.Clauses), stats.Decisions, stats.Conflicts, stats.Propagations)
+
+	switch st {
+	case sat.Sat:
+		fmt.Println("s SATISFIABLE")
+		if *model {
+			m := s.Model()
+			fmt.Print("v ")
+			for v := 0; v < formula.NumVars; v++ {
+				d := v + 1
+				if !m[v] {
+					d = -d
+				}
+				fmt.Printf("%d ", d)
+			}
+			fmt.Println("0")
+		}
+		os.Exit(10)
+	case sat.Unsat:
+		fmt.Println("s UNSATISFIABLE")
+		if *proofPath != "" {
+			if err := os.WriteFile(*proofPath, proofBuf.Bytes(), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+		if *verify {
+			if err := sat.CheckDRUP(formula, bytes.NewReader(proofBuf.Bytes())); err != nil {
+				fatal(fmt.Errorf("proof self-check FAILED: %w", err))
+			}
+			fmt.Println("c DRUP proof verified")
+		}
+		os.Exit(20)
+	default:
+		fmt.Println("s UNKNOWN")
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "satcheck:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,58 @@
+// Counter preimage walkthrough: the closed-form example from DESIGN.md.
+//
+//	go run ./examples/counter-preimage
+//
+// An 8-bit enabled counter moves from state k to k+1 when en=1 and holds
+// at k when en=0, so the preimage of any single state {k} is exactly
+// {k-1, k}. The example computes this with the success-driven engine,
+// shows the witness inputs, and then widens the target to a cube to show
+// cube-level preimages.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"allsatpre"
+)
+
+func main() {
+	const n = 8
+	c := allsatpre.NewCounter(n, true, false)
+	fmt.Println("circuit:", c.Stats())
+
+	// Target: the single state 00010100 (decimal 40, LSB first).
+	target := "00010100"
+	res, err := allsatpre.Preimage(c, allsatpre.Options{WithInputs: true}, target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("preimage of {%s}: %s states (expect 2: k-1 with en=1, k with en=0)\n",
+		target, res.Count)
+	for _, cb := range res.States.Cubes() {
+		fmt.Println("  state:", cb)
+	}
+	fmt.Println("witness (state ++ en) cubes:")
+	for _, cb := range res.Pairs.Cubes() {
+		fmt.Println("  ", cb)
+	}
+
+	// A cube target: all states with the top bit set (128 states). Its
+	// preimage is the half-space that counts or holds into it.
+	res2, err := allsatpre.Preimage(c, allsatpre.Options{}, "XXXXXXX1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("preimage of top-half (128 states): %s states in %d cubes\n",
+		res2.Count, res2.States.Len())
+
+	// Success-driven vs blocking search effort on the same problem.
+	for _, eng := range []allsatpre.Engine{allsatpre.EngineSuccessDriven, allsatpre.EngineBlocking} {
+		r, err := allsatpre.Preimage(c, allsatpre.Options{Engine: eng}, "XXXXXXX1")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("engine %-14s decisions=%-6d conflicts=%-6d cubes=%d\n",
+			eng, r.Stats.Decisions, r.Stats.Conflicts, r.Stats.Cubes)
+	}
+}

@@ -1,0 +1,63 @@
+// Unbounded safety model checking via iterated preimage.
+//
+//	go run ./examples/model-check
+//
+// The example asks two safety questions about generated machines:
+//
+//  1. Can an 8-bit counter starting at 0 ever reach the all-ones state?
+//     (Yes — and the checker returns the 255-step input trace.)
+//  2. Can a Johnson ring counter starting at 0000 ever reach the
+//     non-code-word 0101? (No — the backward fixpoint is the proof.)
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"allsatpre"
+)
+
+func main() {
+	// Question 1: counter reaches all-ones.
+	c := allsatpre.NewCounter(8, true, false)
+	init, err := allsatpre.Target(c, "00000000")
+	if err != nil {
+		log.Fatal(err)
+	}
+	bad, err := allsatpre.Target(c, "11111111")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := allsatpre.CheckReachable(c, init, bad, -1, allsatpre.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("counter8: reachable=%v distance=%d trace-steps=%d\n",
+		res.Reachable, res.Steps, res.Trace.Steps())
+	fmt.Printf("  first three inputs of the witness: %v %v %v\n",
+		res.Trace.Inputs[0], res.Trace.Inputs[1], res.Trace.Inputs[2])
+
+	// Question 2: Johnson counter cannot leave its code words.
+	j := allsatpre.NewJohnson(4)
+	jInit, _ := allsatpre.Target(j, "0000")
+	jBad, _ := allsatpre.Target(j, "0101")
+	jres, err := allsatpre.CheckReachable(j, jInit, jBad, -1, allsatpre.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("johnson4: reachable=%v complete=%v (fixpoint after %d iterations)\n",
+		jres.Reachable, jres.Complete, jres.Steps)
+
+	// Forward reachability gives the same verdict from the other side:
+	// enumerate everything reachable from 0000 and check 0101 is absent.
+	fr, err := allsatpre.ForwardReach(j, allsatpre.Options{}, -1, "0000")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("johnson4 forward: %s reachable states (of 16), fixpoint=%v\n",
+		fr.AllCount, fr.Fixpoint)
+	if fr.All.Contains([]bool{false, true, false, true}) {
+		log.Fatal("0101 must not be forward-reachable")
+	}
+	fmt.Println("0101 not among them — forward and backward analyses agree")
+}

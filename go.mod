@@ -1,0 +1,3 @@
+module allsatpre
+
+go 1.22

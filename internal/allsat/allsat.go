@@ -1,0 +1,236 @@
+// Package allsat provides all-solutions SAT enumeration with projection:
+// given a CNF formula and a set of projection variables, it computes the
+// set of projected assignments extendable to a model, as a cube cover.
+//
+// Two baseline engines live here:
+//
+//   - EnumerateBlocking — the classical all-SAT loop: solve, project the
+//     model, add a blocking clause over every projection variable, repeat.
+//   - EnumerateLifting — the same loop, but each model is first lifted
+//     (greedily minimized into a short cube whose every completion still
+//     satisfies the formula), so one blocking clause removes 2^k
+//     projections at once.
+//
+// The paper's contribution — the success-driven enumerator that stores
+// solutions directly as an ROBDD and memoizes completed subproblems — is
+// implemented in internal/core and shares this package's Result type.
+package allsat
+
+import (
+	"math/big"
+
+	"allsatpre/internal/bdd"
+	"allsatpre/internal/cnf"
+	"allsatpre/internal/cube"
+	"allsatpre/internal/lit"
+	"allsatpre/internal/sat"
+)
+
+// Stats aggregates enumeration counters.
+type Stats struct {
+	// Solutions is the number of satisfying assignments the underlying
+	// solver produced (one per iteration for the blocking engines; the
+	// number of 1-leaves reached for the success-driven engine).
+	Solutions uint64
+	// Cubes is the number of cubes emitted into the cover.
+	Cubes uint64
+	// BlockingClauses / BlockingLits measure added blocking clauses.
+	BlockingClauses, BlockingLits uint64
+	// LiftedFree is the total count of projection variables freed by
+	// lifting (or by early cutoff in the success-driven engine).
+	LiftedFree uint64
+	// Decisions/Propagations/Conflicts come from the underlying search.
+	Decisions, Propagations, Conflicts uint64
+	// CacheLookups/CacheHits count success-driven memo activity.
+	CacheLookups, CacheHits uint64
+	// BDDNodes is the node count of the solution BDD (success-driven) or
+	// of the counting BDD (blocking engines).
+	BDDNodes int
+}
+
+// Result is the outcome of an enumeration.
+type Result struct {
+	// Space is the projection space (one position per projection var).
+	Space *cube.Space
+	// Cover is the set of projected solutions as cubes. Cubes may overlap
+	// (for the lifting engine); their union is exactly the projection.
+	Cover *cube.Cover
+	// Count is the exact number of projected minterms.
+	Count *big.Int
+	// Aborted is true when MaxCubes stopped enumeration early; Cover is
+	// then a subset of the projection.
+	Aborted bool
+	// Stats holds the search counters.
+	Stats Stats
+}
+
+// Options tunes the enumeration engines.
+type Options struct {
+	// MaxCubes bounds the number of enumerated cubes (0 = unlimited).
+	MaxCubes uint64
+	// SAT configures the underlying CDCL solver (zero value = defaults).
+	SAT sat.Options
+	// LiftOrder optionally overrides the greedy lifting order: it is the
+	// list of projection-space positions to try to free, first to last.
+	LiftOrder []int
+}
+
+// countCover computes the exact minterm count of a cover by building its
+// BDD over the projection space.
+func countCover(cv *cube.Cover) (*big.Int, int) {
+	m := bdd.NewOrdered(cv.Space().Vars())
+	f := m.FromCover(cv)
+	return m.SatCount(f), m.NumNodes()
+}
+
+// EnumerateBlocking runs the classical blocking-clause all-SAT loop,
+// projecting onto the variables of space.
+func EnumerateBlocking(f *cnf.Formula, space *cube.Space, opts Options) *Result {
+	return enumerateWithBlocking(f, space, opts, false)
+}
+
+// EnumerateLifting runs the blocking-clause loop with greedy cube lifting:
+// each model is minimized into a cube over the projection variables before
+// being blocked.
+func EnumerateLifting(f *cnf.Formula, space *cube.Space, opts Options) *Result {
+	return enumerateWithBlocking(f, space, opts, true)
+}
+
+func enumerateWithBlocking(f *cnf.Formula, space *cube.Space, opts Options, lift bool) *Result {
+	res := &Result{Space: space, Cover: cube.NewCover(space), Count: new(big.Int)}
+	s := sat.FromFormula(f, opts.SAT)
+	var lifter *modelLifter
+	if lift {
+		lifter = newModelLifter(f, space, opts.LiftOrder)
+	}
+
+	for {
+		if opts.MaxCubes > 0 && res.Stats.Cubes >= opts.MaxCubes {
+			res.Aborted = true
+			break
+		}
+		st := s.Solve()
+		if st == sat.Unsat {
+			break
+		}
+		if st != sat.Sat {
+			// Conflict budget exhausted; treat as an abort.
+			res.Aborted = true
+			break
+		}
+		res.Stats.Solutions++
+		model := s.Model()
+		var c cube.Cube
+		if lift {
+			c = lifter.lift(model)
+			res.Stats.LiftedFree += uint64(c.FreeVars())
+		} else {
+			c = space.FromModel(model)
+		}
+		res.Cover.Add(c)
+		res.Stats.Cubes++
+
+		// Block the cube: at least one fixed position must differ.
+		var blocking []lit.Lit
+		for pos, t := range c {
+			if t == lit.Unknown {
+				continue
+			}
+			blocking = append(blocking, lit.New(space.Vars()[pos], t == lit.True))
+		}
+		res.Stats.BlockingClauses++
+		res.Stats.BlockingLits += uint64(len(blocking))
+		if len(blocking) == 0 {
+			// The whole space is covered; nothing left.
+			break
+		}
+		if !s.AddClause(blocking...) {
+			break
+		}
+	}
+
+	ss := s.Stats()
+	res.Stats.Decisions = ss.Decisions
+	res.Stats.Propagations = ss.Propagations
+	res.Stats.Conflicts = ss.Conflicts
+	res.Count, res.Stats.BDDNodes = countCover(res.Cover)
+	return res
+}
+
+// modelLifter greedily minimizes models into cubes. It indexes, for every
+// projection variable, the clauses in which each of its phases occurs, and
+// maintains per-clause counts of currently-satisfying literals.
+type modelLifter struct {
+	f     *cnf.Formula
+	space *cube.Space
+	order []int
+	// occ[l] lists clause indexes containing literal l.
+	occ [][]int
+	// satCnt[i] is the number of true literals of clause i under the
+	// current (partial) assignment; scratch, rebuilt per model.
+	satCnt []int
+}
+
+func newModelLifter(f *cnf.Formula, space *cube.Space, order []int) *modelLifter {
+	ml := &modelLifter{
+		f:      f,
+		space:  space,
+		occ:    make([][]int, 2*f.NumVars),
+		satCnt: make([]int, len(f.Clauses)),
+	}
+	for ci, c := range f.Clauses {
+		for _, l := range c {
+			ml.occ[l] = append(ml.occ[l], ci)
+		}
+	}
+	if order == nil {
+		// Default: free positions from the last to the first, which for
+		// preimage instances frees primary inputs before state bits.
+		order = make([]int, space.Size())
+		for i := range order {
+			order[i] = space.Size() - 1 - i
+		}
+	}
+	ml.order = append([]int(nil), order...)
+	return ml
+}
+
+// lift returns a cube over the projection space, containing the model's
+// projection, all of whose completions satisfy every clause of f.
+func (ml *modelLifter) lift(model []bool) cube.Cube {
+	// Count satisfying literals per clause under the full model.
+	for i, c := range ml.f.Clauses {
+		n := 0
+		for _, l := range c {
+			if int(l.Var()) < len(model) && model[l.Var()] != l.Sign() {
+				n++
+			}
+		}
+		ml.satCnt[i] = n
+	}
+	out := ml.space.FromModel(model)
+	for _, pos := range ml.order {
+		v := ml.space.Vars()[pos]
+		if int(v) >= len(model) {
+			out[pos] = lit.Unknown
+			continue
+		}
+		// The literal of v that is true under the model.
+		trueLit := lit.New(v, !model[v])
+		ok := true
+		for _, ci := range ml.occ[trueLit] {
+			if ml.satCnt[ci] <= 1 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for _, ci := range ml.occ[trueLit] {
+			ml.satCnt[ci]--
+		}
+		out[pos] = lit.Unknown
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package allsat
+
+import (
+	"allsatpre/internal/cnf"
+	"allsatpre/internal/cube"
+	"allsatpre/internal/lit"
+	"allsatpre/internal/sat"
+)
+
+// Iterator enumerates projected solutions one cube at a time, so callers
+// can stop early (first witness, bounded sampling, streaming consumers)
+// without an up-front cube cap. It drives the blocking loop — optionally
+// with lifting — underneath.
+type Iterator struct {
+	s      *sat.Solver
+	space  *cube.Space
+	lifter *modelLifter
+	done   bool
+	stats  Stats
+}
+
+// NewIterator prepares an iterator over the solutions of f projected onto
+// space. With lift, each returned cube is greedily enlarged first.
+func NewIterator(f *cnf.Formula, space *cube.Space, opts Options, lift bool) *Iterator {
+	it := &Iterator{
+		s:     sat.FromFormula(f, opts.SAT),
+		space: space,
+	}
+	if lift {
+		it.lifter = newModelLifter(f, space, opts.LiftOrder)
+	}
+	return it
+}
+
+// Next returns the next solution cube, or ok=false when the enumeration
+// is exhausted. Cubes may overlap when lifting; their union converges to
+// the exact projection.
+func (it *Iterator) Next() (cube.Cube, bool) {
+	if it.done {
+		return nil, false
+	}
+	st := it.s.Solve()
+	if st != sat.Sat {
+		it.done = true
+		it.captureStats()
+		return nil, false
+	}
+	it.stats.Solutions++
+	model := it.s.Model()
+	var c cube.Cube
+	if it.lifter != nil {
+		c = it.lifter.lift(model)
+		it.stats.LiftedFree += uint64(c.FreeVars())
+	} else {
+		c = it.space.FromModel(model)
+	}
+	it.stats.Cubes++
+
+	var blocking []lit.Lit
+	for pos, t := range c {
+		if t == lit.Unknown {
+			continue
+		}
+		blocking = append(blocking, lit.New(it.space.Vars()[pos], t == lit.True))
+	}
+	it.stats.BlockingClauses++
+	it.stats.BlockingLits += uint64(len(blocking))
+	if len(blocking) == 0 || !it.s.AddClause(blocking...) {
+		it.done = true
+		it.captureStats()
+	}
+	return c, true
+}
+
+// Exhausted reports whether the enumeration has completed.
+func (it *Iterator) Exhausted() bool { return it.done }
+
+// Stats returns the counters accumulated so far.
+func (it *Iterator) Stats() Stats {
+	it.captureStats()
+	return it.stats
+}
+
+func (it *Iterator) captureStats() {
+	ss := it.s.Stats()
+	it.stats.Decisions = ss.Decisions
+	it.stats.Propagations = ss.Propagations
+	it.stats.Conflicts = ss.Conflicts
+}

@@ -1,0 +1,575 @@
+package bdd
+
+import (
+	"math/big"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"allsatpre/internal/cube"
+	"allsatpre/internal/lit"
+)
+
+// truth evaluates f on every assignment over n vars and returns the bitset
+// of satisfying rows (var i is bit i of the row index).
+func truth(m *Manager, f Ref, n int) []bool {
+	out := make([]bool, 1<<uint(n))
+	assign := make([]bool, n)
+	for x := range out {
+		for i := 0; i < n; i++ {
+			assign[i] = x&(1<<uint(i)) != 0
+		}
+		out[x] = m.Eval(f, assign)
+	}
+	return out
+}
+
+func TestTerminalsAndVar(t *testing.T) {
+	m := New(3)
+	if m.Eval(True, nil) != true || m.Eval(False, nil) != false {
+		t.Fatal("terminal eval")
+	}
+	v1 := m.Var(1)
+	if !m.Eval(v1, []bool{false, true, false}) || m.Eval(v1, []bool{true, false, true}) {
+		t.Fatal("Var eval")
+	}
+	if m.NVar(1) != m.Not(v1) {
+		t.Fatal("NVar should equal Not(Var)")
+	}
+	if m.Lit(lit.Neg(2)) != m.NVar(2) || m.Lit(lit.Pos(0)) != m.Var(0) {
+		t.Fatal("Lit mismatch")
+	}
+	if Const(true) != True || Const(false) != False {
+		t.Fatal("Const")
+	}
+}
+
+func TestCanonicity(t *testing.T) {
+	m := New(4)
+	// Same function built two ways must be the same ref.
+	a, b := m.Var(0), m.Var(1)
+	f1 := m.Or(m.And(a, b), m.And(m.Not(a), b))
+	f2 := b
+	if f1 != f2 {
+		t.Fatalf("canonical refs differ: %d vs %d", f1, f2)
+	}
+	// De Morgan.
+	g1 := m.Not(m.And(a, b))
+	g2 := m.Or(m.Not(a), m.Not(b))
+	if g1 != g2 {
+		t.Fatal("De Morgan violated")
+	}
+}
+
+func TestIdempotentReduction(t *testing.T) {
+	m := New(2)
+	if m.ITE(m.Var(0), True, True) != True {
+		t.Fatal("mk should collapse equal children")
+	}
+}
+
+// randomRef builds a random function over n vars by combining literals
+// with random connectives.
+func randomRef(m *Manager, rng *rand.Rand, n, depth int) Ref {
+	if depth == 0 || rng.Intn(4) == 0 {
+		switch rng.Intn(6) {
+		case 0:
+			return True
+		case 1:
+			return False
+		default:
+			return m.Lit(lit.New(lit.Var(rng.Intn(n)), rng.Intn(2) == 0))
+		}
+	}
+	a := randomRef(m, rng, n, depth-1)
+	b := randomRef(m, rng, n, depth-1)
+	switch rng.Intn(5) {
+	case 0:
+		return m.And(a, b)
+	case 1:
+		return m.Or(a, b)
+	case 2:
+		return m.Xor(a, b)
+	case 3:
+		return m.Not(a)
+	default:
+		c := randomRef(m, rng, n, depth-1)
+		return m.ITE(a, b, c)
+	}
+}
+
+func TestOpsAgainstTruthTables(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for iter := 0; iter < 150; iter++ {
+		n := 2 + rng.Intn(6)
+		m := New(n)
+		f := randomRef(m, rng, n, 4)
+		g := randomRef(m, rng, n, 4)
+		tf, tg := truth(m, f, n), truth(m, g, n)
+		checks := []struct {
+			name string
+			ref  Ref
+			fn   func(a, b bool) bool
+		}{
+			{"and", m.And(f, g), func(a, b bool) bool { return a && b }},
+			{"or", m.Or(f, g), func(a, b bool) bool { return a || b }},
+			{"xor", m.Xor(f, g), func(a, b bool) bool { return a != b }},
+			{"xnor", m.Xnor(f, g), func(a, b bool) bool { return a == b }},
+			{"implies", m.Implies(f, g), func(a, b bool) bool { return !a || b }},
+			{"diff", m.Diff(f, g), func(a, b bool) bool { return a && !b }},
+			{"not", m.Not(f), func(a, b bool) bool { return !a }},
+		}
+		for _, c := range checks {
+			tr := truth(m, c.ref, n)
+			for x := range tr {
+				if tr[x] != c.fn(tf[x], tg[x]) {
+					t.Fatalf("iter %d: op %s wrong at row %d", iter, c.name, x)
+				}
+			}
+		}
+	}
+}
+
+func TestAndOrNFolds(t *testing.T) {
+	m := New(3)
+	if m.AndN() != True || m.OrN() != False {
+		t.Fatal("empty folds")
+	}
+	a, b, c := m.Var(0), m.Var(1), m.Var(2)
+	if m.AndN(a, b, c) != m.And(a, m.And(b, c)) {
+		t.Fatal("AndN mismatch")
+	}
+	if m.OrN(a, b, c) != m.Or(a, m.Or(b, c)) {
+		t.Fatal("OrN mismatch")
+	}
+	if m.AndN(a, False, b) != False || m.OrN(a, True, b) != True {
+		t.Fatal("short circuit")
+	}
+}
+
+func TestQuantificationAgainstTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for iter := 0; iter < 120; iter++ {
+		n := 2 + rng.Intn(5)
+		m := New(n)
+		f := randomRef(m, rng, n, 4)
+		tf := truth(m, f, n)
+		// Random quantification set.
+		var qvars []lit.Var
+		for v := 0; v < n; v++ {
+			if rng.Intn(2) == 0 {
+				qvars = append(qvars, lit.Var(v))
+			}
+		}
+		ex := m.ExistsVars(f, qvars)
+		fa := m.ForallVars(f, qvars)
+		tex, tfa := truth(m, ex, n), truth(m, fa, n)
+		inQ := make([]bool, n)
+		for _, v := range qvars {
+			inQ[v] = true
+		}
+		// Enumerate assignments of the q-set for each row.
+		for x := 0; x < 1<<uint(n); x++ {
+			anySat, allSat := false, true
+			// vary quantified vars
+			var qIdx []int
+			for v := 0; v < n; v++ {
+				if inQ[v] {
+					qIdx = append(qIdx, v)
+				}
+			}
+			for y := 0; y < 1<<uint(len(qIdx)); y++ {
+				row := x
+				for k, v := range qIdx {
+					if y&(1<<uint(k)) != 0 {
+						row |= 1 << uint(v)
+					} else {
+						row &^= 1 << uint(v)
+					}
+				}
+				if tf[row] {
+					anySat = true
+				} else {
+					allSat = false
+				}
+			}
+			if tex[x] != anySat {
+				t.Fatalf("iter %d: Exists wrong at row %d", iter, x)
+			}
+			if tfa[x] != allSat {
+				t.Fatalf("iter %d: Forall wrong at row %d", iter, x)
+			}
+		}
+	}
+}
+
+func TestAndExistsEqualsExistsOfAnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for iter := 0; iter < 200; iter++ {
+		n := 2 + rng.Intn(6)
+		m := New(n)
+		f := randomRef(m, rng, n, 4)
+		g := randomRef(m, rng, n, 4)
+		var qvars []lit.Var
+		for v := 0; v < n; v++ {
+			if rng.Intn(2) == 0 {
+				qvars = append(qvars, lit.Var(v))
+			}
+		}
+		c := m.CubeVars(qvars)
+		want := m.Exists(m.And(f, g), c)
+		got := m.AndExists(f, g, c)
+		if got != want {
+			t.Fatalf("iter %d: AndExists ≠ Exists∘And", iter)
+		}
+	}
+}
+
+func TestRestrictAndCompose(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for iter := 0; iter < 120; iter++ {
+		n := 2 + rng.Intn(5)
+		m := New(n)
+		f := randomRef(m, rng, n, 4)
+		g := randomRef(m, rng, n, 4)
+		v := lit.Var(rng.Intn(n))
+		tf, tg := truth(m, f, n), truth(m, g, n)
+		r1 := truth(m, m.Restrict(f, v, true), n)
+		r0 := truth(m, m.Restrict(f, v, false), n)
+		comp := truth(m, m.Compose(f, v, g), n)
+		for x := 0; x < 1<<uint(n); x++ {
+			x1 := x | 1<<uint(v)
+			x0 := x &^ (1 << uint(v))
+			if r1[x] != tf[x1] || r0[x] != tf[x0] {
+				t.Fatalf("iter %d: Restrict wrong at %d", iter, x)
+			}
+			want := tf[x0]
+			if tg[x] {
+				want = tf[x1]
+			}
+			if comp[x] != want {
+				t.Fatalf("iter %d: Compose wrong at %d", iter, x)
+			}
+		}
+	}
+}
+
+func TestConstrainDefiningProperty(t *testing.T) {
+	// Constrain(f, c) ∧ c == f ∧ c, on random functions.
+	rng := rand.New(rand.NewSource(121))
+	for iter := 0; iter < 200; iter++ {
+		n := 2 + rng.Intn(6)
+		m := New(n)
+		f := randomRef(m, rng, n, 4)
+		c := randomRef(m, rng, n, 4)
+		if c == False {
+			continue
+		}
+		g := m.Constrain(f, c)
+		if m.And(g, c) != m.And(f, c) {
+			t.Fatalf("iter %d: constrain property violated", iter)
+		}
+		// Idempotence on the care set.
+		if m.Constrain(g, c) != m.Constrain(f, c) && m.And(m.Constrain(g, c), c) != m.And(f, c) {
+			t.Fatalf("iter %d: constrain not stable", iter)
+		}
+	}
+}
+
+func TestConstrainTerminalCases(t *testing.T) {
+	m := New(2)
+	a := m.Var(0)
+	if m.Constrain(True, a) != True || m.Constrain(False, a) != False {
+		t.Fatal("terminal f")
+	}
+	if m.Constrain(a, True) != a {
+		t.Fatal("care-all")
+	}
+	if m.Constrain(a, a) != True {
+		t.Fatal("f == c should be True")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on empty care set")
+		}
+	}()
+	m.Constrain(a, False)
+}
+
+func TestSimplifyWithInterval(t *testing.T) {
+	// SimplifyWith(f, c) must lie between f∧c and f∨¬c pointwise.
+	rng := rand.New(rand.NewSource(131))
+	for iter := 0; iter < 150; iter++ {
+		n := 2 + rng.Intn(5)
+		m := New(n)
+		f := randomRef(m, rng, n, 4)
+		c := randomRef(m, rng, n, 4)
+		s := m.SimplifyWith(f, c)
+		if c == False {
+			if s != False {
+				t.Fatal("empty care set should give False")
+			}
+			continue
+		}
+		lower := m.And(f, c)
+		upper := m.Or(f, m.Not(c))
+		if m.And(lower, m.Not(s)) != False {
+			t.Fatalf("iter %d: result below f∧c", iter)
+		}
+		if m.And(s, m.Not(upper)) != False {
+			t.Fatalf("iter %d: result above f∨¬c", iter)
+		}
+	}
+}
+
+func TestSupport(t *testing.T) {
+	m := New(5)
+	f := m.And(m.Var(0), m.Or(m.Var(3), m.NVar(4)))
+	sup := m.Support(f)
+	if len(sup) != 3 || sup[0] != 0 || sup[1] != 3 || sup[2] != 4 {
+		t.Fatalf("Support = %v", sup)
+	}
+	if len(m.Support(True)) != 0 {
+		t.Fatal("terminal support should be empty")
+	}
+	// Redundant variable must not appear.
+	g := m.Or(m.And(m.Var(1), m.Var(2)), m.And(m.NVar(1), m.Var(2)))
+	sup = m.Support(g)
+	if len(sup) != 1 || sup[0] != 2 {
+		t.Fatalf("Support after reduction = %v", sup)
+	}
+}
+
+func TestSatCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for iter := 0; iter < 150; iter++ {
+		n := 1 + rng.Intn(7)
+		m := New(n)
+		f := randomRef(m, rng, n, 4)
+		tf := truth(m, f, n)
+		want := 0
+		for _, b := range tf {
+			if b {
+				want++
+			}
+		}
+		if got := m.SatCount(f); got.Cmp(big.NewInt(int64(want))) != 0 {
+			t.Fatalf("iter %d: SatCount = %v, want %d", iter, got, want)
+		}
+	}
+}
+
+func TestSatCountIn(t *testing.T) {
+	m := New(4)
+	f := m.Var(0) // depends only on v0
+	got := m.SatCountIn(f, []lit.Var{0, 1})
+	if got.Cmp(big.NewInt(2)) != 0 {
+		t.Fatalf("SatCountIn = %v, want 2", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic when support exceeds universe")
+		}
+	}()
+	m.SatCountIn(m.And(m.Var(2), m.Var(3)), []lit.Var{2})
+}
+
+func spaceOver(n int) *cube.Space {
+	vars := make([]lit.Var, n)
+	for i := range vars {
+		vars[i] = lit.Var(i)
+	}
+	return cube.NewSpace(vars)
+}
+
+func TestAnySat(t *testing.T) {
+	m := New(3)
+	s := spaceOver(3)
+	f := m.And(m.Var(0), m.NVar(2))
+	c := m.AnySat(f, s)
+	if c == nil {
+		t.Fatal("AnySat returned nil for satisfiable f")
+	}
+	model := []bool{c[0] == lit.True, c[1] == lit.True, c[2] == lit.True}
+	if !m.Eval(f, model) {
+		t.Fatalf("AnySat cube %v does not satisfy f", c)
+	}
+	if m.AnySat(False, s) != nil {
+		t.Fatal("AnySat of False should be nil")
+	}
+}
+
+func TestToCoverFromCoverRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for iter := 0; iter < 100; iter++ {
+		n := 1 + rng.Intn(6)
+		m := New(n)
+		s := spaceOver(n)
+		f := randomRef(m, rng, n, 4)
+		cv := m.ToCover(f, s)
+		back := m.FromCover(cv)
+		if back != f {
+			t.Fatalf("iter %d: ToCover/FromCover round trip failed", iter)
+		}
+		// Cover minterm count must equal SatCount.
+		if n <= 20 {
+			cnt := cv.CountMinterms()
+			if m.SatCount(f).Cmp(big.NewInt(int64(cnt))) != 0 {
+				t.Fatalf("iter %d: cover minterms %d ≠ satcount %v", iter, cnt, m.SatCount(f))
+			}
+		}
+	}
+}
+
+func TestToCoverPanicsOutsideSpace(t *testing.T) {
+	m := New(3)
+	s := cube.NewSpace([]lit.Var{0, 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.ToCover(m.Var(2), s)
+}
+
+func TestRestrictCube(t *testing.T) {
+	m := New(3)
+	s := spaceOver(3)
+	f := m.And(m.Var(0), m.Or(m.Var(1), m.Var(2)))
+	g := m.RestrictCube(f, s, s.CubeOf("1X0"))
+	if g != m.Var(1) {
+		t.Fatalf("RestrictCube: got %d, want Var(1)=%d", g, m.Var(1))
+	}
+}
+
+func TestCubeVarsOrderIndependence(t *testing.T) {
+	m := New(4)
+	a := m.CubeVars([]lit.Var{0, 2, 3})
+	b := m.CubeVars([]lit.Var{3, 0, 2})
+	if a != b {
+		t.Fatal("CubeVars should not depend on list order")
+	}
+	if m.CubeVars(nil) != True {
+		t.Fatal("empty cube should be True")
+	}
+}
+
+func TestTransferPreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for iter := 0; iter < 60; iter++ {
+		n := 2 + rng.Intn(5)
+		m := New(n)
+		f := randomRef(m, rng, n, 4)
+		// Reverse order destination.
+		order := make([]lit.Var, n)
+		for i := range order {
+			order[i] = lit.Var(n - 1 - i)
+		}
+		d := NewOrdered(order)
+		g := m.Transfer(d, f)
+		tf, tg := truth(m, f, n), truth(d, g, n)
+		for x := range tf {
+			if tf[x] != tg[x] {
+				t.Fatalf("iter %d: transfer changed semantics at %d", iter, x)
+			}
+		}
+	}
+}
+
+func TestSiftImprovesKnownBadOrder(t *testing.T) {
+	// f = x0·x3 + x1·x4 + x2·x5 with interleaved order is exponential;
+	// sifting should find a pairing order that shrinks it.
+	order := []lit.Var{0, 1, 2, 3, 4, 5}
+	m := NewOrdered(order)
+	f := m.OrN(
+		m.And(m.Var(0), m.Var(3)),
+		m.And(m.Var(1), m.Var(4)),
+		m.And(m.Var(2), m.Var(5)))
+	before := m.Size(f)
+	d, roots := m.Sift([]Ref{f})
+	after := d.Size(roots[0])
+	if after > before {
+		t.Fatalf("sift made it worse: %d -> %d", before, after)
+	}
+	// Semantics preserved.
+	tf, tg := truth(m, f, 6), truth(d, roots[0], 6)
+	for x := range tf {
+		if tf[x] != tg[x] {
+			t.Fatalf("sift changed semantics at %d", x)
+		}
+	}
+	if after >= before {
+		t.Logf("warning: sift found no strict improvement (%d -> %d)", before, after)
+	}
+}
+
+func TestSiftNoOpStillDetaches(t *testing.T) {
+	m := New(2)
+	f := m.Var(0)
+	d, roots := m.Sift([]Ref{f})
+	if d == m {
+		t.Fatal("Sift should return a fresh manager")
+	}
+	if !d.Eval(roots[0], []bool{true, false}) {
+		t.Fatal("semantics lost")
+	}
+}
+
+func TestWriteDot(t *testing.T) {
+	m := New(2)
+	f := m.And(m.Var(0), m.NVar(1))
+	var sb strings.Builder
+	if err := m.WriteDot(&sb, f, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"digraph bdd", `label="0"`, `label="1"`, "v0", "style=dashed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	var sb2 strings.Builder
+	if err := m.WriteDot(&sb2, f, func(v int) string { return "sig" }); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb2.String(), "sig") {
+		t.Error("custom name function ignored")
+	}
+}
+
+func TestLevelPanicsOnUnknownVar(t *testing.T) {
+	m := New(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Var(5)
+}
+
+func TestDuplicateOrderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewOrdered([]lit.Var{1, 1})
+}
+
+func TestNumNodesMonotone(t *testing.T) {
+	m := New(8)
+	n0 := m.NumNodes()
+	if n0 != 2 {
+		t.Fatalf("fresh manager should have 2 terminal nodes, got %d", n0)
+	}
+	m.Var(3)
+	if m.NumNodes() != 3 {
+		t.Fatalf("after one Var: %d nodes", m.NumNodes())
+	}
+	if m.NumVars() != 8 {
+		t.Fatal("NumVars")
+	}
+	if m.VarAtLevel(m.Level(5)) != 5 {
+		t.Fatal("VarAtLevel/Level inverse")
+	}
+}

@@ -1,0 +1,73 @@
+package bdd
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"allsatpre/internal/lit"
+)
+
+// BenchmarkITE measures raw node construction on random expression DAGs.
+func BenchmarkITE(b *testing.B) {
+	for _, n := range []int{12, 20} {
+		b.Run(fmt.Sprintf("v%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rng := rand.New(rand.NewSource(int64(i)))
+				m := New(n)
+				randomRef(m, rng, n, 8)
+			}
+		})
+	}
+}
+
+// BenchmarkAndExists measures the relational product against the
+// quantify-after-conjoin baseline on adder-style functions.
+func BenchmarkAndExists(b *testing.B) {
+	n := 16
+	build := func(m *Manager) (f, g, cube Ref) {
+		f, g = True, False
+		for i := 0; i+1 < n; i += 2 {
+			f = m.And(f, m.Or(m.Var(lit.Var(i)), m.Var(lit.Var(i+1))))
+			g = m.Or(g, m.And(m.Var(lit.Var(i)), m.NVar(lit.Var(i+1))))
+		}
+		var qs []lit.Var
+		for i := 0; i < n; i += 3 {
+			qs = append(qs, lit.Var(i))
+		}
+		return f, g, m.CubeVars(qs)
+	}
+	b.Run("andexists", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m := New(n)
+			f, g, c := build(m)
+			m.AndExists(f, g, c)
+		}
+	})
+	b.Run("and-then-exists", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m := New(n)
+			f, g, c := build(m)
+			m.Exists(m.And(f, g), c)
+		}
+	})
+}
+
+// BenchmarkSatCount measures model counting on a parity chain (maximally
+// balanced BDD).
+func BenchmarkSatCount(b *testing.B) {
+	n := 24
+	m := New(n)
+	f := False
+	for i := 0; i < n; i++ {
+		f = m.Xor(f, m.Var(lit.Var(i)))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.SatCount(f)
+	}
+}

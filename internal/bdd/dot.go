@@ -1,0 +1,54 @@
+package bdd
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteDot emits a Graphviz DOT rendering of the BDD rooted at f, with
+// solid edges for the high branch and dashed edges for the low branch.
+// Variable names come from the name function (nil → "vN").
+func (m *Manager) WriteDot(w io.Writer, f Ref, name func(int) string) error {
+	if name == nil {
+		name = func(v int) string { return fmt.Sprintf("v%d", v) }
+	}
+	seen := map[Ref]bool{}
+	var order []Ref
+	var walk func(Ref)
+	walk = func(r Ref) {
+		if seen[r] {
+			return
+		}
+		seen[r] = true
+		order = append(order, r)
+		if r == True || r == False {
+			return
+		}
+		n := m.nodes[r]
+		walk(n.low)
+		walk(n.high)
+	}
+	walk(f)
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+
+	if _, err := fmt.Fprintln(w, "digraph bdd {"); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "  rankdir=TB;")
+	for _, r := range order {
+		switch r {
+		case False:
+			fmt.Fprintln(w, `  n0 [shape=box,label="0"];`)
+		case True:
+			fmt.Fprintln(w, `  n1 [shape=box,label="1"];`)
+		default:
+			n := m.nodes[r]
+			fmt.Fprintf(w, "  n%d [shape=circle,label=%q];\n", r, name(int(m.order[n.level])))
+			fmt.Fprintf(w, "  n%d -> n%d [style=dashed];\n", r, n.low)
+			fmt.Fprintf(w, "  n%d -> n%d;\n", r, n.high)
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,404 @@
+package bdd
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+
+	"allsatpre/internal/cube"
+	"allsatpre/internal/lit"
+)
+
+// Exists existentially quantifies the variables of the positive cube
+// (as built by CubeVars) out of f.
+func (m *Manager) Exists(f, cubeRef Ref) Ref {
+	return m.quant(f, cubeRef, opExists)
+}
+
+// Forall universally quantifies the cube's variables out of f.
+func (m *Manager) Forall(f, cubeRef Ref) Ref {
+	return m.quant(f, cubeRef, opForall)
+}
+
+// ExistsVars is Exists over an explicit variable list.
+func (m *Manager) ExistsVars(f Ref, vars []lit.Var) Ref {
+	return m.Exists(f, m.CubeVars(vars))
+}
+
+// ForallVars is Forall over an explicit variable list.
+func (m *Manager) ForallVars(f Ref, vars []lit.Var) Ref {
+	return m.Forall(f, m.CubeVars(vars))
+}
+
+func (m *Manager) quant(f, c Ref, op uint8) Ref {
+	if f == True || f == False {
+		return f
+	}
+	// Skip cube variables above f.
+	for c != True && m.level(c) < m.level(f) {
+		c = m.nodes[c].high
+	}
+	if c == True {
+		return f
+	}
+	key := opKey{op: op, a: f, b: c}
+	if r, ok := m.cache[key]; ok {
+		return r
+	}
+	n := m.nodes[f]
+	var r Ref
+	lo := m.quant(n.low, c, op)
+	hi := m.quant(n.high, c, op)
+	if m.level(c) == n.level {
+		if op == opExists {
+			r = m.Or(lo, hi)
+		} else {
+			r = m.And(lo, hi)
+		}
+	} else {
+		r = m.mk(n.level, lo, hi)
+	}
+	m.cache[key] = r
+	return r
+}
+
+// AndExists computes ∃cube. f ∧ g without building the full conjunction —
+// the relational-product operation at the heart of BDD-based image and
+// preimage computation.
+func (m *Manager) AndExists(f, g, cubeRef Ref) Ref {
+	switch {
+	case f == False || g == False:
+		return False
+	case f == True:
+		return m.Exists(g, cubeRef)
+	case g == True:
+		return m.Exists(f, cubeRef)
+	case f == g:
+		return m.Exists(f, cubeRef)
+	}
+	// Drop cube variables above both operands.
+	top := m.level(f)
+	if l := m.level(g); l < top {
+		top = l
+	}
+	c := cubeRef
+	for c != True && m.level(c) < top {
+		c = m.nodes[c].high
+	}
+	if c == True {
+		return m.And(f, g)
+	}
+	key := opKey{op: opAndExists, a: f, b: g, c: c}
+	if r, ok := m.cache[key]; ok {
+		return r
+	}
+	f0, f1 := m.cofactors(f, top)
+	g0, g1 := m.cofactors(g, top)
+	var r Ref
+	if m.level(c) == top {
+		lo := m.AndExists(f0, g0, c)
+		if lo == True {
+			r = True
+		} else {
+			hi := m.AndExists(f1, g1, c)
+			r = m.Or(lo, hi)
+		}
+	} else {
+		r = m.mk(top, m.AndExists(f0, g0, c), m.AndExists(f1, g1, c))
+	}
+	m.cache[key] = r
+	return r
+}
+
+// Restrict returns the cofactor of f with variable v fixed to val.
+func (m *Manager) Restrict(f Ref, v lit.Var, val bool) Ref {
+	level := m.Level(v)
+	return m.restrictRec(f, level, val)
+}
+
+func (m *Manager) restrictRec(f Ref, level int32, val bool) Ref {
+	if m.level(f) > level {
+		return f // terminal or entirely below? level order: node levels grow downward
+	}
+	n := m.nodes[f]
+	if n.level == level {
+		if val {
+			return n.high
+		}
+		return n.low
+	}
+	var op uint8 = opCompose // reuse slot; distinguish by c encoding below
+	key := opKey{op: op, a: f, b: Ref(level)*2 + boolRef(val), c: -1}
+	if r, ok := m.cache[key]; ok {
+		return r
+	}
+	r := m.mk(n.level, m.restrictRec(n.low, level, val), m.restrictRec(n.high, level, val))
+	m.cache[key] = r
+	return r
+}
+
+func boolRef(b bool) Ref {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// RestrictCube cofactors f by every fixed position of the cube c, whose
+// positions map to variables through the space s.
+func (m *Manager) RestrictCube(f Ref, s *cube.Space, c cube.Cube) Ref {
+	for i, t := range c {
+		if t == lit.Unknown {
+			continue
+		}
+		f = m.Restrict(f, s.Vars()[i], t == lit.True)
+	}
+	return f
+}
+
+// Compose substitutes g for variable v in f: f[v := g].
+func (m *Manager) Compose(f Ref, v lit.Var, g Ref) Ref {
+	return m.ITE(g, m.Restrict(f, v, true), m.Restrict(f, v, false))
+}
+
+// Constrain computes the Coudert–Madre generalized cofactor f↓c: a
+// function that agrees with f everywhere c holds and is chosen for BDD
+// compactness elsewhere. The defining property is
+//
+//	Constrain(f, c) ∧ c  ==  f ∧ c
+//
+// so it implements "simplify f using ¬c as don't cares". c must not be
+// False.
+func (m *Manager) Constrain(f, c Ref) Ref {
+	if c == False {
+		panic("bdd: Constrain with an empty care set")
+	}
+	return m.constrainRec(f, c)
+}
+
+const opConstrain uint8 = 200
+
+func (m *Manager) constrainRec(f, c Ref) Ref {
+	switch {
+	case c == True, f == True, f == False:
+		return f
+	case f == c:
+		return True
+	}
+	key := opKey{op: opConstrain, a: f, b: c}
+	if r, ok := m.cache[key]; ok {
+		return r
+	}
+	level := m.level(f)
+	if l := m.level(c); l < level {
+		level = l
+	}
+	c0, c1 := m.cofactors(c, level)
+	var r Ref
+	switch {
+	case c0 == False:
+		_, f1 := m.cofactors(f, level)
+		r = m.constrainRec(f1, c1)
+	case c1 == False:
+		f0, _ := m.cofactors(f, level)
+		r = m.constrainRec(f0, c0)
+	default:
+		f0, f1 := m.cofactors(f, level)
+		r = m.mk(level, m.constrainRec(f0, c0), m.constrainRec(f1, c1))
+	}
+	m.cache[key] = r
+	return r
+}
+
+// SimplifyWith returns some function between f∧c and f∨¬c (i.e. f with
+// ¬c as a don't-care set), using Constrain; useful for shrinking frontier
+// sets in reachability fixpoints.
+func (m *Manager) SimplifyWith(f, c Ref) Ref {
+	if c == False {
+		return False
+	}
+	return m.Constrain(f, c)
+}
+
+// Support returns the variables f depends on, in order position.
+func (m *Manager) Support(f Ref) []lit.Var {
+	seen := map[Ref]bool{}
+	levels := map[int32]bool{}
+	var walk func(Ref)
+	walk = func(r Ref) {
+		if r == True || r == False || seen[r] {
+			return
+		}
+		seen[r] = true
+		n := m.nodes[r]
+		levels[n.level] = true
+		walk(n.low)
+		walk(n.high)
+	}
+	walk(f)
+	ls := make([]int32, 0, len(levels))
+	for l := range levels {
+		ls = append(ls, l)
+	}
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	out := make([]lit.Var, len(ls))
+	for i, l := range ls {
+		out[i] = m.order[l]
+	}
+	return out
+}
+
+// Size returns the number of distinct nodes reachable from f, including
+// terminals.
+func (m *Manager) Size(f Ref) int {
+	seen := map[Ref]bool{}
+	var walk func(Ref)
+	walk = func(r Ref) {
+		if seen[r] {
+			return
+		}
+		seen[r] = true
+		if r == True || r == False {
+			return
+		}
+		n := m.nodes[r]
+		walk(n.low)
+		walk(n.high)
+	}
+	walk(f)
+	return len(seen)
+}
+
+// SatCount returns the exact number of satisfying assignments of f over
+// the manager's full variable set.
+func (m *Manager) SatCount(f Ref) *big.Int {
+	memo := map[Ref]*big.Int{}
+	var rec func(Ref) *big.Int // models over variables strictly below level(r)'s own level, counting r's level itself
+	two := big.NewInt(2)
+	pow := func(k int32) *big.Int {
+		return new(big.Int).Exp(two, big.NewInt(int64(k)), nil)
+	}
+	n := int32(len(m.order))
+	levelOf := func(r Ref) int32 {
+		if l := m.level(r); l != terminalLevel {
+			return l
+		}
+		return n
+	}
+	rec = func(r Ref) *big.Int {
+		if r == False {
+			return big.NewInt(0)
+		}
+		if r == True {
+			return big.NewInt(1)
+		}
+		if c, ok := memo[r]; ok {
+			return c
+		}
+		nd := m.nodes[r]
+		lo := new(big.Int).Mul(rec(nd.low), pow(levelOf(nd.low)-nd.level-1))
+		hi := new(big.Int).Mul(rec(nd.high), pow(levelOf(nd.high)-nd.level-1))
+		c := new(big.Int).Add(lo, hi)
+		memo[r] = c
+		return c
+	}
+	return new(big.Int).Mul(rec(f), pow(levelOf(f)))
+}
+
+// SatCountIn returns the number of satisfying assignments of f counting
+// only the given variables as the universe; f's support must be a subset.
+func (m *Manager) SatCountIn(f Ref, vars []lit.Var) *big.Int {
+	full := m.SatCount(f)
+	extra := len(m.order) - len(vars)
+	if extra < 0 {
+		panic("bdd: SatCountIn universe smaller than manager order")
+	}
+	den := new(big.Int).Exp(big.NewInt(2), big.NewInt(int64(extra)), nil)
+	q, r := new(big.Int).QuoRem(full, den, new(big.Int))
+	if r.Sign() != 0 {
+		panic("bdd: SatCountIn: support not contained in universe")
+	}
+	return q
+}
+
+// AnySat returns one satisfying cube of f over the space s (or nil when
+// f is False). Variables of s not in f's support come back Unknown.
+func (m *Manager) AnySat(f Ref, s *cube.Space) cube.Cube {
+	if f == False {
+		return nil
+	}
+	c := s.FullCube()
+	for f != True {
+		n := m.nodes[f]
+		v := m.order[n.level]
+		pos := s.PosOf(v)
+		if n.low != False {
+			if pos >= 0 {
+				c[pos] = lit.False
+			}
+			f = n.low
+		} else {
+			if pos >= 0 {
+				c[pos] = lit.True
+			}
+			f = n.high
+		}
+	}
+	return c
+}
+
+// ToCover enumerates the 1-paths of f as a cube cover over the space s.
+// Every support variable of f must be in s.
+func (m *Manager) ToCover(f Ref, s *cube.Space) *cube.Cover {
+	cv := cube.NewCover(s)
+	cur := s.FullCube()
+	var walk func(Ref)
+	walk = func(r Ref) {
+		if r == False {
+			return
+		}
+		if r == True {
+			cv.Add(cur.Clone())
+			return
+		}
+		n := m.nodes[r]
+		v := m.order[n.level]
+		pos := s.PosOf(v)
+		if pos < 0 {
+			panic(fmt.Sprintf("bdd: ToCover: support variable %v not in space", v))
+		}
+		cur[pos] = lit.False
+		walk(n.low)
+		cur[pos] = lit.True
+		walk(n.high)
+		cur[pos] = lit.Unknown
+	}
+	walk(f)
+	return cv
+}
+
+// FromCube builds the BDD of a cube over space s.
+func (m *Manager) FromCube(s *cube.Space, c cube.Cube) Ref {
+	r := True
+	for i, t := range c {
+		if t == lit.Unknown {
+			continue
+		}
+		v := s.Vars()[i]
+		if t == lit.True {
+			r = m.And(r, m.Var(v))
+		} else {
+			r = m.And(r, m.NVar(v))
+		}
+	}
+	return r
+}
+
+// FromCover builds the BDD of a cover (disjunction of its cubes).
+func (m *Manager) FromCover(cv *cube.Cover) Ref {
+	r := False
+	for _, c := range cv.Cubes() {
+		r = m.Or(r, m.FromCube(cv.Space(), c))
+	}
+	return r
+}

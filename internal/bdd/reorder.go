@@ -1,0 +1,141 @@
+package bdd
+
+import (
+	"allsatpre/internal/lit"
+)
+
+// Transfer rebuilds f from this manager inside dst (which may have a
+// different variable order) and returns the corresponding ref. Every
+// support variable of f must be in dst's order.
+func (m *Manager) Transfer(dst *Manager, f Ref) Ref {
+	memo := map[Ref]Ref{False: False, True: True}
+	var rec func(Ref) Ref
+	rec = func(r Ref) Ref {
+		if out, ok := memo[r]; ok {
+			return out
+		}
+		n := m.nodes[r]
+		v := m.order[n.level]
+		lo := rec(n.low)
+		hi := rec(n.high)
+		out := dst.ITE(dst.Var(v), hi, lo)
+		memo[r] = out
+		return out
+	}
+	return rec(f)
+}
+
+// TransferAll transfers several roots at once, sharing the memo table.
+func (m *Manager) TransferAll(dst *Manager, fs []Ref) []Ref {
+	memo := map[Ref]Ref{False: False, True: True}
+	var rec func(Ref) Ref
+	rec = func(r Ref) Ref {
+		if out, ok := memo[r]; ok {
+			return out
+		}
+		n := m.nodes[r]
+		v := m.order[n.level]
+		lo := rec(n.low)
+		hi := rec(n.high)
+		out := dst.ITE(dst.Var(v), hi, lo)
+		memo[r] = out
+		return out
+	}
+	out := make([]Ref, len(fs))
+	for i, f := range fs {
+		out[i] = rec(f)
+	}
+	return out
+}
+
+// sharedSize measures the total number of distinct nodes shared by the
+// roots.
+func (m *Manager) sharedSize(roots []Ref) int {
+	seen := map[Ref]bool{}
+	var walk func(Ref)
+	walk = func(r Ref) {
+		if seen[r] {
+			return
+		}
+		seen[r] = true
+		if r == True || r == False {
+			return
+		}
+		n := m.nodes[r]
+		walk(n.low)
+		walk(n.high)
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+	return len(seen)
+}
+
+// Sift greedily reorders the manager's variables to shrink the shared size
+// of the given roots: each variable in turn is tried at every position and
+// left at the best one. It returns a fresh manager with the improved order
+// and the transferred roots. This is a simple rebuild-based sifting — each
+// trial is a full Transfer — adequate for the variable counts used in the
+// benchmarks (≤ 64); it trades the classic adjacent-swap machinery for
+// simplicity.
+func (m *Manager) Sift(roots []Ref) (*Manager, []Ref) {
+	order := append([]lit.Var(nil), m.order...)
+	cur := m
+	curRoots := append([]Ref(nil), roots...)
+	bestSize := cur.sharedSize(curRoots)
+
+	for vi := 0; vi < len(order); vi++ {
+		v := order[vi]
+		bestPos := posOf(order, v)
+		improved := false
+		for pos := 0; pos < len(order); pos++ {
+			if pos == posOf(order, v) {
+				continue
+			}
+			trialOrder := moveVar(order, v, pos)
+			trial := NewOrdered(trialOrder)
+			trialRoots := cur.TransferAll(trial, curRoots)
+			if sz := trial.sharedSize(trialRoots); sz < bestSize {
+				bestSize = sz
+				bestPos = pos
+				improved = true
+			}
+		}
+		if improved {
+			order = moveVar(order, v, bestPos)
+			next := NewOrdered(order)
+			curRoots = cur.TransferAll(next, curRoots)
+			cur = next
+		}
+	}
+	if cur == m {
+		// No improvement: still return a detached copy for a uniform API.
+		next := NewOrdered(order)
+		curRoots = cur.TransferAll(next, curRoots)
+		cur = next
+	}
+	return cur, curRoots
+}
+
+func posOf(order []lit.Var, v lit.Var) int {
+	for i, x := range order {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// moveVar returns a copy of order with v moved to position pos.
+func moveVar(order []lit.Var, v lit.Var, pos int) []lit.Var {
+	out := make([]lit.Var, 0, len(order))
+	for _, x := range order {
+		if x != v {
+			out = append(out, x)
+		}
+	}
+	out = append(out, 0)
+	copy(out[pos+1:], out[pos:])
+	out[pos] = v
+	return out
+}

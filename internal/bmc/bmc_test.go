@@ -1,0 +1,234 @@
+package bmc
+
+import (
+	"math/rand"
+	"testing"
+
+	"allsatpre/internal/circuit"
+	"allsatpre/internal/cube"
+	"allsatpre/internal/gen"
+	"allsatpre/internal/preimage"
+	"allsatpre/internal/trans"
+)
+
+func validateTrace(t *testing.T, c *circuit.Circuit, init, bad *cube.Cover, tr *preimage.Trace) {
+	t.Helper()
+	if tr == nil {
+		t.Fatal("missing trace")
+	}
+	if !init.Contains(tr.States[0]) {
+		t.Fatalf("trace starts outside init: %v", tr.States[0])
+	}
+	if !bad.Contains(tr.States[len(tr.States)-1]) {
+		t.Fatalf("trace ends outside bad: %v", tr.States[len(tr.States)-1])
+	}
+	sim, err := circuit.NewSimulator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, in := range tr.Inputs {
+		_, next := sim.Step(tr.States[i], in)
+		for k := range next {
+			if next[k] != tr.States[i+1][k] {
+				t.Fatalf("trace step %d does not simulate", i)
+			}
+		}
+	}
+}
+
+func TestCounterDistance(t *testing.T) {
+	c := gen.Counter(4, true, false)
+	init := trans.TargetFromPatterns(4, "0000")
+	bad := trans.TargetFromPatterns(4, "1010") // state 5
+	r, err := Check(c, init, bad, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Reachable || r.Depth != 5 {
+		t.Fatalf("want depth 5, got %+v", r)
+	}
+	validateTrace(t, c, init, bad, r.Trace)
+}
+
+func TestDepthZeroHit(t *testing.T) {
+	c := gen.Counter(3, true, false)
+	init := trans.TargetFromPatterns(3, "1X0")
+	bad := trans.TargetFromPatterns(3, "110")
+	r, err := Check(c, init, bad, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Reachable || r.Depth != 0 || len(r.Trace.Inputs) != 0 {
+		t.Fatalf("want depth-0 hit, got %+v", r)
+	}
+	validateTrace(t, c, init, bad, r.Trace)
+}
+
+func TestBoundTooShallow(t *testing.T) {
+	c := gen.Counter(4, true, false)
+	init := trans.TargetFromPatterns(4, "0000")
+	bad := trans.TargetFromPatterns(4, "1111")
+	r, err := Check(c, init, bad, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Reachable {
+		t.Fatal("15 needs 15 steps; bound 7 should find nothing")
+	}
+	if r.Depth != 7 || r.Solves != 8 {
+		t.Fatalf("explored depth %d with %d solves", r.Depth, r.Solves)
+	}
+}
+
+func TestIncrementalDeepening(t *testing.T) {
+	// The same Checker reused with growing bounds must find the bug at
+	// the exact depth, reusing earlier frames.
+	c := gen.Counter(4, true, false)
+	init := trans.TargetFromPatterns(4, "0000")
+	bad := trans.TargetFromPatterns(4, "0110") // state 6
+	ck, err := New(c, init, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := ck.CheckTo(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Reachable {
+		t.Fatal("bound 3 too shallow for state 6")
+	}
+	r, err = ck.CheckTo(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Reachable || r.Depth != 6 {
+		t.Fatalf("want depth 6, got %+v", r)
+	}
+	validateTrace(t, c, init, bad, r.Trace)
+}
+
+func TestUnreachableWithinAnyBound(t *testing.T) {
+	// Johnson non-code-word is unreachable; BMC can only say "not within
+	// bound", which must hold for a bound exceeding the diameter.
+	c := gen.Johnson(4)
+	init := trans.TargetFromPatterns(4, "0000")
+	bad := trans.TargetFromPatterns(4, "0101")
+	r, err := Check(c, init, bad, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Reachable {
+		t.Fatal("0101 must be unreachable")
+	}
+}
+
+func TestEmptyInitOrBad(t *testing.T) {
+	c := gen.Counter(3, true, false)
+	sp := preimage.StateSpace(c)
+	empty := cube.NewCover(sp)
+	full := trans.TargetFromPatterns(3, "XXX")
+	r, err := Check(c, empty, full, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Reachable {
+		t.Fatal("empty init reaches nothing")
+	}
+	r, err = Check(c, full, empty, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Reachable {
+		t.Fatal("empty bad is never hit")
+	}
+}
+
+func TestWidthMismatch(t *testing.T) {
+	c := gen.Counter(3, true, false)
+	if _, err := New(c, trans.TargetFromPatterns(2, "00"), trans.TargetFromPatterns(3, "111")); err == nil {
+		t.Fatal("expected width error")
+	}
+}
+
+// TestAgainstCheckReachable cross-validates BMC and the preimage-based
+// checker on random circuits: identical verdicts, identical distances.
+func TestAgainstCheckReachable(t *testing.T) {
+	rng := rand.New(rand.NewSource(314))
+	for seed := int64(70); seed < 78; seed++ {
+		c := gen.SLike(gen.SLikeParams{Seed: seed, Inputs: 4, Latches: 4, Gates: 22})
+		initPat := make([]byte, 4)
+		badPat := make([]byte, 4)
+		for i := range initPat {
+			initPat[i] = "01"[rng.Intn(2)]
+			badPat[i] = "01X"[rng.Intn(3)]
+		}
+		init := trans.TargetFromPatterns(4, string(initPat))
+		bad := trans.TargetFromPatterns(4, string(badPat))
+
+		const bound = 18 // ≥ diameter of a 4-latch machine
+		bres, err := Check(c, init, bad, bound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pres, err := preimage.CheckReachable(c, init, bad, -1, preimage.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bres.Reachable != pres.Reachable {
+			t.Fatalf("seed %d: BMC says %v, preimage says %v",
+				seed, bres.Reachable, pres.Reachable)
+		}
+		if bres.Reachable {
+			if bres.Depth != pres.Steps {
+				t.Fatalf("seed %d: distances differ: BMC %d vs preimage %d",
+					seed, bres.Depth, pres.Steps)
+			}
+			validateTrace(t, c, init, bad, bres.Trace)
+		}
+	}
+}
+
+func TestS27CrossValidation(t *testing.T) {
+	data := `
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+`
+	c, err := circuit.ParseBenchString("s27", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := trans.TargetFromPatterns(3, "000")
+	for _, badPat := range []string{"111", "011", "1X1", "010"} {
+		bad := trans.TargetFromPatterns(3, badPat)
+		bres, err := Check(c, init, bad, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pres, err := preimage.CheckReachable(c, init, bad, -1, preimage.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bres.Reachable != pres.Reachable {
+			t.Fatalf("bad=%s: BMC %v vs preimage %v", badPat, bres.Reachable, pres.Reachable)
+		}
+		if bres.Reachable && bres.Depth != pres.Steps {
+			t.Fatalf("bad=%s: distances %d vs %d", badPat, bres.Depth, pres.Steps)
+		}
+	}
+}

@@ -1,0 +1,271 @@
+package circuit
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// ParseBench reads a netlist in ISCAS-89 BENCH format:
+//
+//	# comment
+//	INPUT(a)
+//	OUTPUT(f)
+//	f = AND(a, b)
+//	q = DFF(d)
+//
+// Signal definitions may appear in any order (DFF feedback loops are the
+// norm). Gate type names are case-insensitive.
+func ParseBench(name string, r io.Reader) (*Circuit, error) {
+	type protoGate struct {
+		typ    GateType
+		fanins []string
+		line   int
+	}
+	protos := make(map[string]protoGate) // defined signals
+	var inputOrder, outputOrder []string
+	var defOrder []string // definition order of non-input signals
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		up := strings.ToUpper(line)
+		switch {
+		case strings.HasPrefix(up, "INPUT"):
+			sig, err := parenArg(line)
+			if err != nil {
+				return nil, fmt.Errorf("bench line %d: %v", lineNo, err)
+			}
+			if _, dup := protos[sig]; dup {
+				return nil, fmt.Errorf("bench line %d: signal %q already defined", lineNo, sig)
+			}
+			protos[sig] = protoGate{typ: Input, line: lineNo}
+			inputOrder = append(inputOrder, sig)
+		case strings.HasPrefix(up, "OUTPUT"):
+			sig, err := parenArg(line)
+			if err != nil {
+				return nil, fmt.Errorf("bench line %d: %v", lineNo, err)
+			}
+			outputOrder = append(outputOrder, sig)
+		default:
+			eq := strings.Index(line, "=")
+			if eq < 0 {
+				return nil, fmt.Errorf("bench line %d: cannot parse %q", lineNo, line)
+			}
+			sig := strings.TrimSpace(line[:eq])
+			rhs := strings.TrimSpace(line[eq+1:])
+			open := strings.Index(rhs, "(")
+			close := strings.LastIndex(rhs, ")")
+			if open < 0 || close < open {
+				return nil, fmt.Errorf("bench line %d: malformed gate %q", lineNo, rhs)
+			}
+			tname := strings.ToUpper(strings.TrimSpace(rhs[:open]))
+			typ, ok := benchType(tname)
+			if !ok {
+				return nil, fmt.Errorf("bench line %d: unknown gate type %q", lineNo, tname)
+			}
+			var fanins []string
+			for _, tok := range strings.Split(rhs[open+1:close], ",") {
+				tok = strings.TrimSpace(tok)
+				if tok != "" {
+					fanins = append(fanins, tok)
+				}
+			}
+			mn, mx := typ.arity()
+			if len(fanins) < mn || len(fanins) > mx {
+				return nil, fmt.Errorf("bench line %d: %s with %d fanins", lineNo, tname, len(fanins))
+			}
+			if _, dup := protos[sig]; dup {
+				return nil, fmt.Errorf("bench line %d: signal %q already defined", lineNo, sig)
+			}
+			protos[sig] = protoGate{typ: typ, fanins: fanins, line: lineNo}
+			defOrder = append(defOrder, sig)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	// Check every referenced signal is defined.
+	for sig, p := range protos {
+		for _, f := range p.fanins {
+			if _, ok := protos[f]; !ok {
+				return nil, fmt.Errorf("bench line %d: signal %q uses undefined %q", p.line, sig, f)
+			}
+		}
+	}
+	for _, sig := range outputOrder {
+		if _, ok := protos[sig]; !ok {
+			return nil, fmt.Errorf("bench: OUTPUT(%s) is undefined", sig)
+		}
+	}
+
+	// Build the circuit: inputs first, then DFFs (so feedback resolves),
+	// then combinational gates in dependency order.
+	c := New(name)
+	for _, sig := range inputOrder {
+		c.AddInput(sig)
+	}
+	// DFF placeholders.
+	var dffSigs []string
+	for _, sig := range defOrder {
+		if protos[sig].typ == DFF {
+			dffSigs = append(dffSigs, sig)
+			idx := len(c.Gates)
+			c.Gates = append(c.Gates, Gate{Name: sig, Type: DFF, Fanins: []int{0}})
+			c.byName[sig] = idx
+			c.Latches = append(c.Latches, idx)
+		}
+	}
+	// Combinational gates in topological order via DFS over names.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int)
+	var emit func(sig string) error
+	emit = func(sig string) error {
+		if _, done := c.byName[sig]; done {
+			return nil
+		}
+		switch color[sig] {
+		case gray:
+			return fmt.Errorf("bench: combinational cycle through %q", sig)
+		case black:
+			return nil
+		}
+		color[sig] = gray
+		p := protos[sig]
+		for _, f := range p.fanins {
+			if err := emit(f); err != nil {
+				return err
+			}
+		}
+		color[sig] = black
+		fan := make([]int, len(p.fanins))
+		for i, f := range p.fanins {
+			fan[i] = c.byName[f]
+		}
+		c.AddGate(sig, p.typ, fan...)
+		return nil
+	}
+	for _, sig := range defOrder {
+		if protos[sig].typ == DFF {
+			continue
+		}
+		if err := emit(sig); err != nil {
+			return nil, err
+		}
+	}
+	// Resolve DFF fanins.
+	for _, sig := range dffSigs {
+		d := protos[sig].fanins[0]
+		c.Gates[c.byName[sig]].Fanins[0] = c.byName[d]
+	}
+	for _, sig := range outputOrder {
+		c.MarkOutput(c.byName[sig])
+	}
+	return c, nil
+}
+
+// ParseBenchString parses BENCH text.
+func ParseBenchString(name, s string) (*Circuit, error) {
+	return ParseBench(name, strings.NewReader(s))
+}
+
+func parenArg(line string) (string, error) {
+	open := strings.Index(line, "(")
+	close := strings.LastIndex(line, ")")
+	if open < 0 || close < open {
+		return "", fmt.Errorf("malformed declaration %q", line)
+	}
+	sig := strings.TrimSpace(line[open+1 : close])
+	if sig == "" {
+		return "", fmt.Errorf("empty signal name in %q", line)
+	}
+	return sig, nil
+}
+
+func benchType(name string) (GateType, bool) {
+	switch name {
+	case "AND":
+		return And, true
+	case "NAND":
+		return Nand, true
+	case "OR":
+		return Or, true
+	case "NOR":
+		return Nor, true
+	case "XOR":
+		return Xor, true
+	case "XNOR":
+		return Xnor, true
+	case "NOT", "INV":
+		return Not, true
+	case "BUF", "BUFF":
+		return Buf, true
+	case "DFF", "FF":
+		return DFF, true
+	case "CONST0", "GND", "ZERO":
+		return Const0, true
+	case "CONST1", "VDD", "ONE":
+		return Const1, true
+	}
+	return 0, false
+}
+
+// WriteBench writes the circuit in BENCH format. Gates are emitted in
+// index order; the output is re-parsable by ParseBench.
+func WriteBench(w io.Writer, c *Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s\n", c.Name)
+	for _, i := range c.Inputs {
+		fmt.Fprintf(bw, "INPUT(%s)\n", c.Gates[i].Name)
+	}
+	for _, i := range c.Outputs {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", c.Gates[i].Name)
+	}
+	for _, g := range c.Gates {
+		switch g.Type {
+		case Input:
+			continue
+		case Const0:
+			fmt.Fprintf(bw, "%s = CONST0()\n", g.Name)
+		case Const1:
+			fmt.Fprintf(bw, "%s = CONST1()\n", g.Name)
+		default:
+			names := make([]string, len(g.Fanins))
+			for k, f := range g.Fanins {
+				names[k] = c.Gates[f].Name
+			}
+			fmt.Fprintf(bw, "%s = %s(%s)\n", g.Name, g.Type, strings.Join(names, ", "))
+		}
+	}
+	return bw.Flush()
+}
+
+// BenchString renders the circuit as BENCH text.
+func BenchString(c *Circuit) string {
+	var sb strings.Builder
+	_ = WriteBench(&sb, c)
+	return sb.String()
+}
+
+// SortedOutputs returns output gate names sorted (for stable test output).
+func (c *Circuit) SortedOutputs() []string {
+	out := make([]string, len(c.Outputs))
+	for i, o := range c.Outputs {
+		out[i] = c.Gates[o].Name
+	}
+	sort.Strings(out)
+	return out
+}

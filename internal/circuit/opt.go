@@ -1,0 +1,233 @@
+package circuit
+
+import (
+	"fmt"
+)
+
+// OptResult reports what Optimize removed.
+type OptResult struct {
+	// ConstFolded counts gates replaced by constants.
+	ConstFolded int
+	// BuffersCollapsed counts BUF gates bypassed.
+	BuffersCollapsed int
+	// DeadRemoved counts gates dropped as unreachable from outputs and
+	// latches.
+	DeadRemoved int
+}
+
+// Optimize returns a behaviourally equivalent, cleaned copy of the
+// circuit: constants are propagated through the combinational logic
+// (0 dominates AND, 1 dominates OR, inverters fold), buffer chains are
+// bypassed, and gates feeding neither an output nor a latch are swept.
+// Inputs and latches are preserved verbatim so the state space and the
+// I/O interface are unchanged.
+func Optimize(c *Circuit) (*Circuit, OptResult, error) {
+	var res OptResult
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, res, err
+	}
+
+	// Phase 1: compute, for each gate, either a constant value or a
+	// representative gate index (for buffers) after folding.
+	type fold struct {
+		isConst bool
+		val     bool
+		rep     int // representative original gate index
+	}
+	folds := make([]fold, len(c.Gates))
+	repOf := func(i int) fold { return folds[i] }
+	for _, i := range order {
+		g := &c.Gates[i]
+		switch g.Type {
+		case Input, DFF:
+			folds[i] = fold{rep: i}
+		case Const0:
+			folds[i] = fold{isConst: true, val: false, rep: i}
+		case Const1:
+			folds[i] = fold{isConst: true, val: true, rep: i}
+		case Buf:
+			folds[i] = repOf(g.Fanins[0])
+			if !folds[i].isConst {
+				res.BuffersCollapsed++
+			}
+		case Not:
+			in := repOf(g.Fanins[0])
+			if in.isConst {
+				folds[i] = fold{isConst: true, val: !in.val, rep: i}
+				res.ConstFolded++
+			} else {
+				folds[i] = fold{rep: i}
+			}
+		case And, Nand, Or, Nor:
+			neutral := g.Type == And || g.Type == Nand // neutral input value is 1 for AND
+			dominating := !neutral                     // 1 dominates OR
+			_ = dominating
+			anyDominated := false
+			allConst := true
+			acc := neutral
+			var liveFanins []int
+			for _, fi := range g.Fanins {
+				in := repOf(fi)
+				if in.isConst {
+					if g.Type == And || g.Type == Nand {
+						acc = acc && in.val
+						if !in.val {
+							anyDominated = true
+						}
+					} else {
+						acc = acc || in.val
+						if in.val {
+							anyDominated = true
+						}
+					}
+				} else {
+					allConst = false
+					liveFanins = append(liveFanins, in.rep)
+				}
+			}
+			invertOut := g.Type == Nand || g.Type == Nor
+			switch {
+			case anyDominated:
+				v := g.Type == Or || g.Type == Nand // OR with a 1 → 1; AND with a 0 → 0, NAND → 1
+				if g.Type == Nor {
+					v = false
+				}
+				folds[i] = fold{isConst: true, val: v, rep: i}
+				res.ConstFolded++
+			case allConst:
+				v := acc
+				if invertOut {
+					v = !v
+				}
+				folds[i] = fold{isConst: true, val: v, rep: i}
+				res.ConstFolded++
+			case len(liveFanins) == 1 && !invertOut:
+				// AND/OR of one live input with neutral constants.
+				folds[i] = fold{rep: liveFanins[0]}
+				res.ConstFolded++
+			default:
+				folds[i] = fold{rep: i}
+			}
+		case Xor, Xnor:
+			a, b := repOf(g.Fanins[0]), repOf(g.Fanins[1])
+			inv := g.Type == Xnor
+			switch {
+			case a.isConst && b.isConst:
+				folds[i] = fold{isConst: true, val: (a.val != b.val) != inv, rep: i}
+				res.ConstFolded++
+			case a.isConst && !a.val && !inv:
+				folds[i] = fold{rep: b.rep} // 0 ⊕ x = x
+				res.ConstFolded++
+			case b.isConst && !b.val && !inv:
+				folds[i] = fold{rep: a.rep}
+				res.ConstFolded++
+			default:
+				folds[i] = fold{rep: i}
+			}
+		default:
+			return nil, res, fmt.Errorf("circuit: Optimize: unsupported gate %v", g.Type)
+		}
+	}
+
+	// Phase 2: mark gates live from outputs and latch D inputs, through
+	// folded representatives.
+	live := make([]bool, len(c.Gates))
+	var mark func(i int)
+	mark = func(i int) {
+		f := folds[i]
+		if f.isConst {
+			live[f.rep] = true // keep a constant source
+			return
+		}
+		i = f.rep
+		if live[i] {
+			return
+		}
+		live[i] = true
+		g := &c.Gates[i]
+		if g.Type == DFF {
+			mark(g.Fanins[0])
+			return
+		}
+		for _, fi := range g.Fanins {
+			mark(fi)
+		}
+	}
+	// Inputs and latches always survive (interface preservation).
+	for _, i := range c.Inputs {
+		live[i] = true
+	}
+	for _, i := range c.Latches {
+		live[i] = true
+		mark(c.Gates[i].Fanins[0])
+	}
+	for _, i := range c.Outputs {
+		mark(i)
+	}
+
+	// Phase 3: rebuild.
+	nc := New(c.Name + "_opt")
+	remap := make([]int, len(c.Gates))
+	for i := range remap {
+		remap[i] = -1
+	}
+	var c0, c1 = -1, -1
+	constGate := func(val bool) int {
+		if val {
+			if c1 < 0 {
+				c1 = nc.AddGate("const1", Const1)
+			}
+			return c1
+		}
+		if c0 < 0 {
+			c0 = nc.AddGate("const0", Const0)
+		}
+		return c0
+	}
+	resolve := func(i int) int {
+		f := folds[i]
+		if f.isConst {
+			return constGate(f.val)
+		}
+		if remap[f.rep] < 0 {
+			panic(fmt.Sprintf("circuit: Optimize: gate %q resolved before creation", c.Gates[f.rep].Name))
+		}
+		return remap[f.rep]
+	}
+	// Inputs first, then latch placeholders, then live logic in topo order.
+	for _, i := range c.Inputs {
+		remap[i] = nc.AddInput(c.Gates[i].Name)
+	}
+	for _, i := range c.Latches {
+		idx := len(nc.Gates)
+		nc.Gates = append(nc.Gates, Gate{Name: c.Gates[i].Name, Type: DFF, Fanins: []int{0}})
+		nc.byName[c.Gates[i].Name] = idx
+		nc.Latches = append(nc.Latches, idx)
+		remap[i] = idx
+	}
+	for _, i := range order {
+		g := &c.Gates[i]
+		if g.Type == Input || g.Type == DFF {
+			continue
+		}
+		if !live[i] || folds[i].rep != i || folds[i].isConst {
+			if !live[i] {
+				res.DeadRemoved++
+			}
+			continue
+		}
+		fan := make([]int, len(g.Fanins))
+		for k, fi := range g.Fanins {
+			fan[k] = resolve(fi)
+		}
+		remap[i] = nc.AddGate(g.Name, g.Type, fan...)
+	}
+	for _, i := range c.Latches {
+		nc.Gates[remap[i]].Fanins[0] = resolve(c.Gates[i].Fanins[0])
+	}
+	for _, i := range c.Outputs {
+		nc.MarkOutput(resolve(i))
+	}
+	return nc, res, nil
+}

@@ -1,0 +1,164 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// equivalent checks behavioural equality of two circuits with the same
+// interface over random stimulus.
+func equivalent(t *testing.T, a, b *Circuit, vectors int, seed int64) {
+	t.Helper()
+	if len(a.Inputs) != len(b.Inputs) || len(a.Latches) != len(b.Latches) ||
+		len(a.Outputs) != len(b.Outputs) {
+		t.Fatalf("interface mismatch: %v vs %v", a.Stats(), b.Stats())
+	}
+	simA, err := NewSimulator(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simB, err := NewSimulator(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for v := 0; v < vectors; v++ {
+		st := make([]bool, len(a.Latches))
+		in := make([]bool, len(a.Inputs))
+		for i := range st {
+			st[i] = rng.Intn(2) == 0
+		}
+		for i := range in {
+			in[i] = rng.Intn(2) == 0
+		}
+		ao, an := simA.Step(st, in)
+		bo, bn := simB.Step(st, in)
+		for k := range ao {
+			if ao[k] != bo[k] {
+				t.Fatalf("output %d mismatch at vector %d", k, v)
+			}
+		}
+		for k := range an {
+			if an[k] != bn[k] {
+				t.Fatalf("next-state %d mismatch at vector %d", k, v)
+			}
+		}
+	}
+}
+
+func TestOptimizeConstantFolding(t *testing.T) {
+	c := New("cf")
+	a := c.AddInput("a")
+	one := c.AddGate("one", Const1)
+	zero := c.AddGate("zero", Const0)
+	andD := c.AddGate("andD", And, a, zero)    // → 0
+	orD := c.AddGate("orD", Or, a, one)        // → 1
+	norC := c.AddGate("norC", Nor, zero, zero) // → 1
+	x := c.AddGate("x", Xor, andD, orD)        // 0 ⊕ 1 = 1
+	fin := c.AddGate("fin", And, x, norC)
+	c.MarkOutput(fin)
+	opt, res, err := Optimize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ConstFolded == 0 {
+		t.Fatal("expected constant folding")
+	}
+	equivalent(t, c, opt, 8, 1)
+	// Everything folds to constant 1: the optimized circuit should be
+	// tiny (input + const gate).
+	if opt.NumCombGates() > 1 {
+		t.Fatalf("expected full collapse, got %d gates:\n%s",
+			opt.NumCombGates(), BenchString(opt))
+	}
+}
+
+func TestOptimizeBufferChains(t *testing.T) {
+	c := New("bufs")
+	a := c.AddInput("a")
+	b1 := c.AddGate("b1", Buf, a)
+	b2 := c.AddGate("b2", Buf, b1)
+	b3 := c.AddGate("b3", Buf, b2)
+	n := c.AddGate("n", Not, b3)
+	c.MarkOutput(n)
+	opt, res, err := Optimize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BuffersCollapsed != 3 {
+		t.Fatalf("BuffersCollapsed = %d, want 3", res.BuffersCollapsed)
+	}
+	if opt.NumCombGates() != 1 {
+		t.Fatalf("want a single NOT, got:\n%s", BenchString(opt))
+	}
+	equivalent(t, c, opt, 4, 2)
+}
+
+func TestOptimizeDeadLogic(t *testing.T) {
+	c := New("dead")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	used := c.AddGate("used", And, a, b)
+	_ = c.AddGate("dead1", Or, a, b)
+	d2 := c.AddGate("dead2", Xor, a, b)
+	_ = c.AddGate("dead3", Not, d2)
+	c.MarkOutput(used)
+	opt, res, err := Optimize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeadRemoved != 3 {
+		t.Fatalf("DeadRemoved = %d, want 3", res.DeadRemoved)
+	}
+	if opt.NumCombGates() != 1 {
+		t.Fatalf("optimized gates: %d", opt.NumCombGates())
+	}
+	equivalent(t, c, opt, 8, 3)
+}
+
+func TestOptimizeNeutralInputsCollapse(t *testing.T) {
+	// AND(x, 1, 1) folds to x; OR(x, 0) folds to x.
+	c := New("neutral")
+	x := c.AddInput("x")
+	one := c.AddGate("one", Const1)
+	zero := c.AddGate("zero", Const0)
+	a := c.AddGate("a", And, x, one, one)
+	o := c.AddGate("o", Or, a, zero)
+	c.MarkOutput(o)
+	opt, _, err := Optimize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.NumCombGates() != 0 {
+		t.Fatalf("expected output to fold to the input, got:\n%s", BenchString(opt))
+	}
+	equivalent(t, c, opt, 4, 4)
+}
+
+func TestOptimizePreservesLatches(t *testing.T) {
+	// A latch whose D input is constant must survive with the constant.
+	c := New("lconst")
+	zero := c.AddGate("zero", Const0)
+	q := c.AddLatch("q", zero)
+	out := c.AddGate("out", Not, q)
+	c.MarkOutput(out)
+	opt, _, err := Optimize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opt.Latches) != 1 {
+		t.Fatal("latch dropped")
+	}
+	equivalent(t, c, opt, 8, 5)
+}
+
+func TestOptimizeRejectsCyclic(t *testing.T) {
+	c := New("cyc")
+	a := c.AddInput("a")
+	g1 := c.AddGate("g1", And, a, a)
+	g2 := c.AddGate("g2", Or, g1, a)
+	c.Gates[g1].Fanins[1] = g2
+	if _, _, err := Optimize(c); err == nil {
+		t.Fatal("expected cycle error")
+	}
+}

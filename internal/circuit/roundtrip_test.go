@@ -1,0 +1,140 @@
+package circuit_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"allsatpre/internal/circuit"
+	"allsatpre/internal/gen"
+	"allsatpre/internal/tseitin"
+)
+
+// TestSuiteBenchRoundTrip writes every generated benchmark circuit as
+// BENCH text, re-parses it, and checks behavioural equivalence over
+// random stimulus with 64-way parallel simulation.
+func TestSuiteBenchRoundTrip(t *testing.T) {
+	suite := gen.Suite()
+	suite = append(suite,
+		gen.NamedCircuit{Name: "mult5", Circuit: gen.MultCore(5)},
+		gen.NamedCircuit{Name: "counter-rst", Circuit: gen.Counter(6, true, true)},
+		gen.NamedCircuit{Name: "counter-free", Circuit: gen.Counter(5, false, false)},
+	)
+	rng := rand.New(rand.NewSource(2024))
+	for _, nc := range suite {
+		text := circuit.BenchString(nc.Circuit)
+		c2, err := circuit.ParseBenchString(nc.Name+"-rt", text)
+		if err != nil {
+			t.Fatalf("%s: re-parse failed: %v\n%s", nc.Name, err, text)
+		}
+		if len(c2.Latches) != len(nc.Circuit.Latches) || len(c2.Inputs) != len(nc.Circuit.Inputs) {
+			t.Fatalf("%s: interface changed on round trip", nc.Name)
+		}
+		sim1, err := circuit.NewSimulator(nc.Circuit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim2, err := circuit.NewSimulator(c2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nL, nI := len(nc.Circuit.Latches), len(nc.Circuit.Inputs)
+		st1 := make([]uint64, nL)
+		st2 := make([]uint64, nL)
+		for i := range st1 {
+			v := rng.Uint64()
+			st1[i], st2[i] = v, v
+		}
+		for step := 0; step < 8; step++ {
+			in := make([]uint64, nI)
+			for i := range in {
+				in[i] = rng.Uint64()
+			}
+			var o1, o2 []uint64
+			o1, st1 = sim1.Step64(st1, in)
+			o2, st2 = sim2.Step64(st2, in)
+			for k := range o1 {
+				if o1[k] != o2[k] {
+					t.Fatalf("%s: outputs diverge at step %d", nc.Name, step)
+				}
+			}
+			for k := range st1 {
+				if st1[k] != st2[k] {
+					t.Fatalf("%s: states diverge at step %d", nc.Name, step)
+				}
+			}
+		}
+	}
+}
+
+// TestSuiteOptimizeEquivalence runs the optimizer over every generated
+// circuit and checks behavioural equivalence with 64-way simulation.
+func TestSuiteOptimizeEquivalence(t *testing.T) {
+	suite := gen.Suite()
+	suite = append(suite,
+		gen.NamedCircuit{Name: "mult5", Circuit: gen.MultCore(5)},
+		gen.NamedCircuit{Name: "counter-rst", Circuit: gen.Counter(6, true, true)},
+	)
+	rng := rand.New(rand.NewSource(808))
+	for _, nc := range suite {
+		opt, res, err := circuit.Optimize(nc.Circuit)
+		if err != nil {
+			t.Fatalf("%s: %v", nc.Name, err)
+		}
+		if opt.NumCombGates() > nc.Circuit.NumCombGates() {
+			t.Fatalf("%s: optimizer grew the circuit (%d -> %d)",
+				nc.Name, nc.Circuit.NumCombGates(), opt.NumCombGates())
+		}
+		_ = res
+		sim1, _ := circuit.NewSimulator(nc.Circuit)
+		sim2, err := circuit.NewSimulator(opt)
+		if err != nil {
+			t.Fatalf("%s: optimized circuit broken: %v", nc.Name, err)
+		}
+		nL, nI := len(nc.Circuit.Latches), len(nc.Circuit.Inputs)
+		st1 := make([]uint64, nL)
+		st2 := make([]uint64, nL)
+		for i := range st1 {
+			v := rng.Uint64()
+			st1[i], st2[i] = v, v
+		}
+		for step := 0; step < 8; step++ {
+			in := make([]uint64, nI)
+			for i := range in {
+				in[i] = rng.Uint64()
+			}
+			var o1, o2 []uint64
+			o1, st1 = sim1.Step64(st1, in)
+			o2, st2 = sim2.Step64(st2, in)
+			for k := range o1 {
+				if o1[k] != o2[k] {
+					t.Fatalf("%s: optimizer changed outputs at step %d", nc.Name, step)
+				}
+			}
+			for k := range st1 {
+				if st1[k] != st2[k] {
+					t.Fatalf("%s: optimizer changed state at step %d", nc.Name, step)
+				}
+			}
+		}
+	}
+}
+
+// TestSuiteTseitinModelCounts checks, for each suite circuit small enough
+// to count, that the Tseitin CNF has exactly 2^(inputs+latches) models —
+// i.e. the encoding is exact (every signal functionally determined).
+func TestSuiteTseitinModelCounts(t *testing.T) {
+	for _, nc := range gen.Suite() {
+		free := len(nc.Circuit.Inputs) + len(nc.Circuit.Latches)
+		if nc.Circuit.NumGates() > 22 || free > 16 {
+			continue
+		}
+		enc, err := tseitin.Encode(nc.Circuit)
+		if err != nil {
+			t.Fatalf("%s: %v", nc.Name, err)
+		}
+		want := 1 << uint(free)
+		if got := enc.F.CountModels(); got != want {
+			t.Fatalf("%s: %d models, want %d", nc.Name, got, want)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteVCDBasic(t *testing.T) {
+	c := New("vcd demo!")
+	a := c.AddInput("a")
+	q := c.AddLatch("q", a)
+	n := c.AddGate("n", Not, q)
+	c.MarkOutput(n)
+	states := [][]bool{{false}, {true}, {false}}
+	inputs := [][]bool{{true}, {false}}
+	var sb strings.Builder
+	if err := WriteVCD(&sb, c, states, inputs); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"$timescale", "$scope module vcd_demo_", "$var wire 1 ! a $end",
+		"$enddefinitions", "#0", "#1", "#2", "#3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing %q:\n%s", want, out)
+		}
+	}
+	// The latch q toggles 0→1→0, so its id must appear with both values.
+	qID := string(rune('!' + q))
+	if !strings.Contains(out, "1"+qID+"\n") || !strings.Contains(out, "0"+qID+"\n") {
+		t.Errorf("latch toggles missing:\n%s", out)
+	}
+}
+
+func TestWriteVCDOnlyChangesEmitted(t *testing.T) {
+	// A constant-input trace emits each signal once (at #0) and never
+	// again.
+	c := New("const")
+	a := c.AddInput("a")
+	b := c.AddGate("b", Buf, a)
+	c.MarkOutput(b)
+	states := [][]bool{{}, {}, {}}
+	inputs := [][]bool{{true}, {true}}
+	var sb strings.Builder
+	if err := WriteVCD(&sb, c, states, inputs); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	aID := string(rune('!' + a))
+	if n := strings.Count(out, "1"+aID+"\n"); n != 1 {
+		t.Errorf("input emitted %d times, want 1:\n%s", n, out)
+	}
+}
+
+func TestWriteVCDDimensionErrors(t *testing.T) {
+	c := New("dim")
+	c.AddInput("a")
+	q := c.AddLatch("q", 0)
+	_ = q
+	var sb strings.Builder
+	if err := WriteVCD(&sb, c, [][]bool{{false}}, [][]bool{{true}}); err == nil {
+		t.Error("states/inputs length mismatch accepted")
+	}
+	if err := WriteVCD(&sb, c, [][]bool{{false, true}, {false, true}}, [][]bool{{true}}); err == nil {
+		t.Error("state width mismatch accepted")
+	}
+	if err := WriteVCD(&sb, c, [][]bool{{false}, {false}}, [][]bool{{true, false}}); err == nil {
+		t.Error("input width mismatch accepted")
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if sanitize("a b/c") != "a_b_c" || sanitize("") != "top" {
+		t.Error("sanitize")
+	}
+}
+
+func TestVCDIdentifierCodes(t *testing.T) {
+	// More than 94 gates must get multi-character ids without collision.
+	c := New("many")
+	prev := c.AddInput("i0")
+	for g := 0; g < 200; g++ {
+		prev = c.AddGate(strings.Repeat("g", 1)+"_"+strings.Repeat("x", g%3+1)+string(rune('a'+g%26))+string(rune('0'+g%10))+string(rune('0'+(g/10)%10))+string(rune('0'+(g/100)%10)), Not, prev)
+	}
+	c.MarkOutput(prev)
+	states := [][]bool{{}, {}}
+	inputs := [][]bool{{true}}
+	var sb strings.Builder
+	if err := WriteVCD(&sb, c, states, inputs); err != nil {
+		t.Fatal(err)
+	}
+	// Count distinct $var ids.
+	ids := map[string]bool{}
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if strings.HasPrefix(line, "$var wire 1 ") {
+			fields := strings.Fields(line)
+			if ids[fields[3]] {
+				t.Fatalf("duplicate VCD id %q", fields[3])
+			}
+			ids[fields[3]] = true
+		}
+	}
+	if len(ids) != c.NumGates() {
+		t.Fatalf("%d ids for %d gates", len(ids), c.NumGates())
+	}
+}

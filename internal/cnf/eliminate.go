@@ -1,0 +1,144 @@
+package cnf
+
+import (
+	"allsatpre/internal/lit"
+)
+
+// ElimResult reports what EliminateVars did.
+type ElimResult struct {
+	// Eliminated counts variables resolved away.
+	Eliminated int
+	// ClausesBefore/ClausesAfter report the clause-count change.
+	ClausesBefore, ClausesAfter int
+}
+
+// EliminateVars applies Davis–Putnam variable elimination to every
+// variable for which eliminable returns true, as long as the replacement
+// does not grow the clause count by more than maxGrowth clauses per
+// variable (0 = never grow).
+//
+// Elimination replaces the clauses containing v by all non-tautological
+// resolvents on v, which computes ∃v.F exactly: the models of the result,
+// over the remaining variables, are precisely the projections of the
+// original models. It is therefore safe for projected all-SAT as long as
+// projection variables are never eliminated — the engines enumerate the
+// same covers on the reduced formula.
+func EliminateVars(f *Formula, eliminable func(lit.Var) bool, maxGrowth int) ElimResult {
+	res := ElimResult{ClausesBefore: len(f.Clauses)}
+
+	// Live clause list with occurrence indexes, rebuilt once; clause
+	// deletion is by tombstone.
+	clauses := make([]Clause, len(f.Clauses))
+	copy(clauses, f.Clauses)
+	dead := make([]bool, len(clauses))
+	occ := make(map[lit.Lit][]int)
+	addOcc := func(ci int) {
+		for _, l := range clauses[ci] {
+			occ[l] = append(occ[l], ci)
+		}
+	}
+	for ci := range clauses {
+		var taut bool
+		clauses[ci], taut = clauses[ci].Normalize()
+		if taut {
+			dead[ci] = true
+			continue
+		}
+		addOcc(ci)
+	}
+
+	liveWith := func(l lit.Lit) []int {
+		out := occ[l][:0]
+		for _, ci := range occ[l] {
+			if !dead[ci] && clauses[ci].Has(l) {
+				out = append(out, ci)
+			}
+		}
+		occ[l] = out
+		return out
+	}
+
+	gone := make([]bool, f.NumVars)
+	for pass := 0; pass < 8; pass++ {
+		changed := false
+		for v := lit.Var(0); int(v) < f.NumVars; v++ {
+			if gone[v] || !eliminable(v) {
+				continue
+			}
+			pos := liveWith(lit.Pos(v))
+			neg := liveWith(lit.Neg(v))
+			if len(pos) == 0 && len(neg) == 0 {
+				continue
+			}
+			// A pure variable eliminates for free (no resolvents).
+			var resolvents []Clause
+			feasible := true
+			if len(pos) > 0 && len(neg) > 0 {
+				budget := len(pos) + len(neg) + maxGrowth
+				for _, pi := range pos {
+					for _, ni := range neg {
+						r, taut := resolve(clauses[pi], clauses[ni], v)
+						if taut {
+							continue
+						}
+						resolvents = append(resolvents, r)
+						if len(resolvents) > budget {
+							feasible = false
+							break
+						}
+					}
+					if !feasible {
+						break
+					}
+				}
+			}
+			if !feasible {
+				continue
+			}
+			for _, ci := range pos {
+				dead[ci] = true
+			}
+			for _, ci := range neg {
+				dead[ci] = true
+			}
+			for _, r := range resolvents {
+				clauses = append(clauses, r)
+				dead = append(dead, false)
+				addOcc(len(clauses) - 1)
+			}
+			gone[v] = true
+			res.Eliminated++
+			changed = true
+		}
+		if !changed {
+			break
+		}
+	}
+
+	out := f.Clauses[:0]
+	for ci, c := range clauses {
+		if !dead[ci] {
+			out = append(out, c)
+		}
+	}
+	f.Clauses = out
+	res.ClausesAfter = len(f.Clauses)
+	return res
+}
+
+// resolve computes the resolvent of a (containing v) and b (containing
+// ¬v) on variable v, reporting tautologies.
+func resolve(a, b Clause, v lit.Var) (Clause, bool) {
+	merged := make(Clause, 0, len(a)+len(b)-2)
+	for _, l := range a {
+		if l.Var() != v {
+			merged = append(merged, l)
+		}
+	}
+	for _, l := range b {
+		if l.Var() != v {
+			merged = append(merged, l)
+		}
+	}
+	return merged.Normalize()
+}

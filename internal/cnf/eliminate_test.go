@@ -1,0 +1,112 @@
+package cnf
+
+import (
+	"math/rand"
+	"testing"
+
+	"allsatpre/internal/lit"
+)
+
+func TestEliminateSingleVar(t *testing.T) {
+	// (a ∨ x)(¬x ∨ b): eliminating x yields (a ∨ b).
+	f := New(3)
+	a, b, x := lit.Pos(0), lit.Pos(1), lit.Pos(2)
+	f.Add(a, x)
+	f.Add(x.Not(), b)
+	res := EliminateVars(f, func(v lit.Var) bool { return v == 2 }, 0)
+	if res.Eliminated != 1 {
+		t.Fatalf("Eliminated = %d", res.Eliminated)
+	}
+	if len(f.Clauses) != 1 || len(f.Clauses[0]) != 2 {
+		t.Fatalf("clauses after: %v", f.Clauses)
+	}
+}
+
+func TestEliminatePureVariable(t *testing.T) {
+	// x occurs only positively: its clauses vanish with no resolvents.
+	f := New(2)
+	f.Add(lit.Pos(1), lit.Pos(0))
+	f.Add(lit.Pos(1))
+	res := EliminateVars(f, func(v lit.Var) bool { return v == 1 }, 0)
+	if res.Eliminated != 1 || len(f.Clauses) != 0 {
+		t.Fatalf("pure elimination failed: %+v / %v", res, f.Clauses)
+	}
+}
+
+func TestEliminateRespectsGrowthCap(t *testing.T) {
+	// A variable with 3 positive and 3 negative occurrences can produce
+	// up to 9 resolvents; with maxGrowth 0 the budget is 6.
+	f := New(8)
+	x := lit.Var(0)
+	for i := 1; i <= 3; i++ {
+		f.Add(lit.Pos(x), lit.Pos(lit.Var(i)))
+		f.Add(lit.Neg(x), lit.Pos(lit.Var(i+3)))
+	}
+	res := EliminateVars(f, func(v lit.Var) bool { return v == x }, 0)
+	if res.Eliminated != 0 {
+		t.Fatalf("should have refused to grow: %+v", res)
+	}
+	res = EliminateVars(f, func(v lit.Var) bool { return v == x }, 10)
+	if res.Eliminated != 1 {
+		t.Fatalf("should eliminate with a slack budget: %+v", res)
+	}
+}
+
+// TestEliminationPreservesProjection is the essential property: the set
+// of projections of models onto the kept variables is unchanged.
+func TestEliminationPreservesProjection(t *testing.T) {
+	rng := rand.New(rand.NewSource(515))
+	for iter := 0; iter < 300; iter++ {
+		nVars := 4 + rng.Intn(7)
+		f := randomFormula(rng, nVars, 1+rng.Intn(3*nVars), 1+rng.Intn(3))
+		// Keep a random subset as "projection".
+		keep := make([]bool, nVars)
+		var kept []lit.Var
+		for v := 0; v < nVars; v++ {
+			if rng.Intn(2) == 0 {
+				keep[v] = true
+				kept = append(kept, lit.Var(v))
+			}
+		}
+		if len(kept) == 0 {
+			kept = append(kept, 0)
+			keep[0] = true
+		}
+		want := f.ProjectedModels(kept)
+		g := f.Clone()
+		EliminateVars(g, func(v lit.Var) bool { return !keep[v] }, 2)
+		g.NumVars = f.NumVars // eliminated vars are now unconstrained
+		got := g.ProjectedModels(kept)
+		if len(got) != len(want) {
+			t.Fatalf("iter %d: projection count %d -> %d\nbefore:\n%safter:\n%s",
+				iter, len(want), len(got), DimacsString(f, kept), DimacsString(g, kept))
+		}
+		for k := range want {
+			if !got[k] {
+				t.Fatalf("iter %d: projection %s lost", iter, k)
+			}
+		}
+	}
+}
+
+func TestEliminateNothingWhenNoneEliminable(t *testing.T) {
+	f := New(3)
+	f.Add(lit.Pos(0), lit.Pos(1))
+	res := EliminateVars(f, func(lit.Var) bool { return false }, 0)
+	if res.Eliminated != 0 || res.ClausesBefore != res.ClausesAfter {
+		t.Fatalf("unexpected work: %+v", res)
+	}
+}
+
+func TestResolveTautology(t *testing.T) {
+	a := Clause{lit.Pos(0), lit.Pos(1)}
+	b := Clause{lit.Neg(0), lit.Neg(1)}
+	if _, taut := resolve(a, b, 0); !taut {
+		t.Fatal("resolvent (1 ∨ ¬1) should be a tautology")
+	}
+	c := Clause{lit.Neg(0), lit.Pos(2)}
+	r, taut := resolve(a, c, 0)
+	if taut || len(r) != 2 {
+		t.Fatalf("resolvent = %v", r)
+	}
+}

@@ -1,0 +1,63 @@
+package cnf
+
+import (
+	"testing"
+)
+
+// FuzzParseDimacs checks the DIMACS parser never panics and accepted
+// formulas survive a write/re-parse round trip with identical clauses.
+func FuzzParseDimacs(f *testing.F) {
+	seeds := []string{
+		"p cnf 3 2\n1 2 0\n-3 0\n",
+		"c proj 1 2\np cnf 2 1\n1 -2 0\n",
+		"1 2 3 0\n-1 0",
+		"p cnf 0 0\n",
+		"p cnf 2 9\n1 0\n", // count mismatch
+		"zz\n",
+		"c only a comment\n",
+		"p cnf 1 1\n0\n", // empty clause
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		formula, proj, err := ParseDimacsString(src)
+		if err != nil {
+			return
+		}
+		text := DimacsString(formula, proj)
+		f2, p2, err := ParseDimacsString(text)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v\n%s", err, text)
+		}
+		if f2.NumVars != formula.NumVars || len(f2.Clauses) != len(formula.Clauses) ||
+			len(p2) != len(proj) {
+			t.Fatalf("round trip changed the formula")
+		}
+	})
+}
+
+// FuzzSimplify checks the simplifier never panics and preserves
+// satisfiability status detectable at level 0.
+func FuzzSimplify(f *testing.F) {
+	f.Add("p cnf 3 3\n1 0\n-1 2 0\n-2 3 0\n")
+	f.Add("p cnf 2 2\n1 0\n-1 0\n")
+	f.Add("p cnf 4 2\n1 -1 0\n2 3 4 0\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		formula, _, err := ParseDimacsString(src)
+		if err != nil || formula.NumVars > 16 || len(formula.Clauses) > 24 {
+			return
+		}
+		before := formula.CountModels()
+		res := Simplify(formula, nil)
+		if res.Unsat {
+			if before != 0 {
+				t.Fatalf("Simplify claimed UNSAT with %d models", before)
+			}
+			return
+		}
+		if after := formula.CountModels(); after != before {
+			t.Fatalf("Simplify changed model count %d -> %d", before, after)
+		}
+	})
+}

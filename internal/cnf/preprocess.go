@@ -1,0 +1,191 @@
+package cnf
+
+import (
+	"sort"
+
+	"allsatpre/internal/lit"
+)
+
+// PreprocessResult reports what Preprocess did.
+type PreprocessResult struct {
+	// Unsat is true when preprocessing derived unsatisfiability.
+	Unsat bool
+	// Subsumed counts clauses removed by (backward) subsumption.
+	Subsumed int
+	// Strengthened counts literals removed by self-subsuming resolution.
+	Strengthened int
+	// Rounds is the number of fixpoint iterations.
+	Rounds int
+	// Simplify carries the unit-propagation summary of the final pass.
+	Simplify SimplifyResult
+}
+
+// Preprocess applies model-set-preserving CNF reductions to fixpoint:
+// duplicate/tautology removal and unit propagation (via Simplify),
+// backward subsumption (a clause containing another clause's literals is
+// deleted), and self-subsuming resolution (when C∨l and D∨¬l exist with
+// C ⊆ D, the literal ¬l is deleted from D∨¬l).
+//
+// All three reductions preserve the exact set of models over all
+// variables — not merely satisfiability — so the all-solutions engines
+// can run on the preprocessed formula and enumerate the same projections.
+func Preprocess(f *Formula) PreprocessResult {
+	var res PreprocessResult
+	for {
+		res.Rounds++
+		res.Simplify = Simplify(f, nil)
+		if res.Simplify.Unsat {
+			res.Unsat = true
+			return res
+		}
+		changed := false
+		if n := subsumptionPass(f); n > 0 {
+			res.Subsumed += n
+			changed = true
+		}
+		if n := strengthenPass(f); n > 0 {
+			res.Strengthened += n
+			changed = true
+		}
+		if !changed || res.Rounds > 20 {
+			return res
+		}
+	}
+}
+
+// signature computes a 64-bit Bloom signature of a clause's variables; a
+// clause can only subsume another when sig(sub) & ^sig(super) == 0.
+func signature(c Clause) uint64 {
+	var s uint64
+	for _, l := range c {
+		s |= 1 << (uint(l.Var()) & 63)
+	}
+	return s
+}
+
+// subsumes reports whether every literal of a occurs in b. Both must be
+// sorted (Normalize order).
+func subsumes(a, b Clause) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	i := 0
+	for _, l := range b {
+		if i < len(a) && a[i] == l {
+			i++
+		}
+	}
+	return i == len(a)
+}
+
+// subsumptionPass deletes clauses subsumed by a smaller (or equal) clause.
+func subsumptionPass(f *Formula) int {
+	type entry struct {
+		c   Clause
+		sig uint64
+	}
+	entries := make([]entry, 0, len(f.Clauses))
+	for _, c := range f.Clauses {
+		nc, taut := c.Normalize()
+		if taut {
+			continue
+		}
+		entries = append(entries, entry{c: nc, sig: signature(nc)})
+	}
+	// Sort by length so potential subsumers come first.
+	sort.SliceStable(entries, func(i, j int) bool { return len(entries[i].c) < len(entries[j].c) })
+	removed := 0
+	dead := make([]bool, len(entries))
+	// occ maps a literal to the indices of entries containing it; checking
+	// only clauses sharing the subsumer's first literal bounds the scan.
+	occ := map[lit.Lit][]int{}
+	for i, e := range entries {
+		for _, l := range e.c {
+			occ[l] = append(occ[l], i)
+		}
+	}
+	for i, e := range entries {
+		if dead[i] || len(e.c) == 0 {
+			continue
+		}
+		// Candidates: clauses containing e.c[0].
+		for _, j := range occ[e.c[0]] {
+			if j == i || dead[j] {
+				continue
+			}
+			o := entries[j]
+			if len(o.c) < len(e.c) || e.sig&^o.sig != 0 {
+				continue
+			}
+			if len(o.c) == len(e.c) && j < i {
+				continue // identical clauses: keep the first
+			}
+			if subsumes(e.c, o.c) {
+				dead[j] = true
+				removed++
+			}
+		}
+	}
+	out := f.Clauses[:0]
+	for i, e := range entries {
+		if !dead[i] {
+			out = append(out, e.c)
+		}
+	}
+	f.Clauses = out
+	return removed
+}
+
+// strengthenPass applies self-subsuming resolution: for clauses A = C∨l
+// and B = D∨¬l with C ⊆ D, remove ¬l from B.
+func strengthenPass(f *Formula) int {
+	strengthened := 0
+	// occ by literal over current clauses (indices stay valid; clause
+	// contents are edited in place, only shrinking).
+	occ := map[lit.Lit][]int{}
+	for i, c := range f.Clauses {
+		for _, l := range c {
+			occ[l] = append(occ[l], i)
+		}
+	}
+	for i := range f.Clauses {
+		a := f.Clauses[i]
+		if len(a) == 0 {
+			continue
+		}
+		for _, l := range a {
+			// A = C ∨ l. Try every B containing ¬l.
+			rest := make(Clause, 0, len(a)-1)
+			for _, x := range a {
+				if x != l {
+					rest = append(rest, x)
+				}
+			}
+			restSig := signature(rest)
+			for _, j := range occ[l.Not()] {
+				if j == i {
+					continue
+				}
+				b := f.Clauses[j]
+				if len(b)-1 < len(rest) || restSig&^signature(b) != 0 {
+					continue
+				}
+				if !b.Has(l.Not()) {
+					continue // already strengthened away
+				}
+				// Check C ⊆ B \ {¬l}.
+				bRest := make(Clause, 0, len(b)-1)
+				for _, x := range b {
+					if x != l.Not() {
+						bRest = append(bRest, x)
+					}
+				}
+				if subsumes(rest, bRest) {
+					f.Clauses[j] = bRest
+					strengthened++
+				}
+			}
+		}
+	}
+	return strengthened
+}

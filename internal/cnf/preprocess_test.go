@@ -1,0 +1,144 @@
+package cnf
+
+import (
+	"math/rand"
+	"testing"
+
+	"allsatpre/internal/lit"
+)
+
+func TestSubsumptionBasic(t *testing.T) {
+	f := New(3)
+	f.Add(lit.Pos(0), lit.Pos(1))
+	f.Add(lit.Pos(0), lit.Pos(1), lit.Pos(2)) // subsumed
+	res := Preprocess(f)
+	if res.Subsumed != 1 {
+		t.Fatalf("Subsumed = %d, want 1", res.Subsumed)
+	}
+	if len(f.Clauses) != 1 {
+		t.Fatalf("%d clauses left", len(f.Clauses))
+	}
+}
+
+func TestDuplicateClausesCollapse(t *testing.T) {
+	f := New(2)
+	f.Add(lit.Pos(0), lit.Pos(1))
+	f.Add(lit.Pos(1), lit.Pos(0)) // same clause, different order
+	Preprocess(f)
+	if len(f.Clauses) != 1 {
+		t.Fatalf("%d clauses left, want 1", len(f.Clauses))
+	}
+}
+
+func TestSelfSubsumingResolution(t *testing.T) {
+	// (a ∨ l) and (a ∨ b ∨ ¬l): the second strengthens to (a ∨ b).
+	f := New(3)
+	a, b, l := lit.Pos(0), lit.Pos(1), lit.Pos(2)
+	f.Add(a, l)
+	f.Add(a, b, l.Not())
+	res := Preprocess(f)
+	if res.Strengthened < 1 {
+		t.Fatalf("Strengthened = %d, want >= 1", res.Strengthened)
+	}
+	for _, c := range f.Clauses {
+		if c.Has(l.Not()) && len(c) == 3 {
+			t.Fatalf("clause not strengthened: %v", c)
+		}
+	}
+}
+
+func TestStrengthenToUnsat(t *testing.T) {
+	f := New(1)
+	f.Add(lit.Pos(0))
+	f.Add(lit.Neg(0))
+	if res := Preprocess(f); !res.Unsat {
+		t.Fatal("expected UNSAT")
+	}
+}
+
+// TestPreprocessPreservesModels is the crucial property: the exact model
+// set over all variables is unchanged.
+func TestPreprocessPreservesModels(t *testing.T) {
+	rng := rand.New(rand.NewSource(909))
+	for iter := 0; iter < 300; iter++ {
+		nVars := 2 + rng.Intn(8)
+		f := randomFormula(rng, nVars, 1+rng.Intn(14), 1+rng.Intn(3))
+		want := make(map[string]bool)
+		f.EnumerateModels(func(m []bool) { want[modelKey(m)] = true })
+		g := f.Clone()
+		res := Preprocess(g)
+		if res.Unsat {
+			if len(want) != 0 {
+				t.Fatalf("iter %d: Preprocess says UNSAT but %d models exist", iter, len(want))
+			}
+			continue
+		}
+		got := make(map[string]bool)
+		// Preprocessing never adds variables; pad with f's count.
+		g.NumVars = f.NumVars
+		g.EnumerateModels(func(m []bool) { got[modelKey(m)] = true })
+		if len(got) != len(want) {
+			t.Fatalf("iter %d: model count %d -> %d\nbefore:\n%safter:\n%s",
+				iter, len(want), len(got), DimacsString(f, nil), DimacsString(g, nil))
+		}
+		for k := range want {
+			if !got[k] {
+				t.Fatalf("iter %d: model %s lost", iter, k)
+			}
+		}
+	}
+}
+
+func modelKey(m []bool) string {
+	b := make([]byte, len(m))
+	for i, v := range m {
+		if v {
+			b[i] = '1'
+		} else {
+			b[i] = '0'
+		}
+	}
+	return string(b)
+}
+
+func TestPreprocessIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(911))
+	for iter := 0; iter < 50; iter++ {
+		f := randomFormula(rng, 6, 12, 3)
+		if Preprocess(f).Unsat {
+			continue
+		}
+		res2 := Preprocess(f)
+		if res2.Subsumed != 0 || res2.Strengthened != 0 {
+			t.Fatalf("iter %d: second pass still found work: %+v", iter, res2)
+		}
+	}
+}
+
+func TestSubsumesHelper(t *testing.T) {
+	a, _ := mk(1, 3).Normalize()
+	b, _ := mk(1, 2, 3).Normalize()
+	if !subsumes(a, b) || subsumes(b, a) {
+		t.Fatal("subsumes broken")
+	}
+	empty := Clause{}
+	if !subsumes(empty, a) {
+		t.Fatal("empty clause subsumes everything")
+	}
+}
+
+func TestSignatureIsSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(912))
+	for iter := 0; iter < 200; iter++ {
+		a := randomFormula(rng, 10, 1, 3).Clauses[0]
+		b := randomFormula(rng, 10, 1, 4).Clauses[0]
+		an, t1 := a.Normalize()
+		bn, t2 := b.Normalize()
+		if t1 || t2 {
+			continue
+		}
+		if subsumes(an, bn) && signature(an)&^signature(bn) != 0 {
+			t.Fatalf("signature filter rejects a real subsumption: %v ⊆ %v", an, bn)
+		}
+	}
+}

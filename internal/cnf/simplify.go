@@ -1,0 +1,123 @@
+package cnf
+
+import (
+	"allsatpre/internal/lit"
+)
+
+// SimplifyResult reports what a Simplify call did.
+type SimplifyResult struct {
+	// Unsat is true when simplification derived the empty clause.
+	Unsat bool
+	// Units holds every variable fixed by unit propagation, as literals.
+	Units []lit.Lit
+	// RemovedTautologies counts deleted always-true clauses.
+	RemovedTautologies int
+	// RemovedSatisfied counts clauses deleted because a fixed unit
+	// satisfies them.
+	RemovedSatisfied int
+}
+
+// Simplify normalizes the formula in place: it removes duplicate literals
+// and tautological clauses, then runs unit propagation to fixpoint,
+// deleting satisfied clauses and falsified literals. Fixed variables stay
+// present as unit clauses so the formula remains equisatisfiable with
+// identical models over all variables.
+//
+// keep marks variables whose unit clauses must be preserved even when the
+// variable disappears from every other clause (pass nil to keep all units,
+// which is the default behaviour anyway — the parameter exists for
+// symmetry with projection-aware callers).
+func Simplify(f *Formula, keep func(lit.Var) bool) SimplifyResult {
+	var res SimplifyResult
+	_ = keep
+
+	fixed := make([]lit.Tern, f.NumVars)
+
+	// Normalize clauses first.
+	norm := f.Clauses[:0]
+	for _, c := range f.Clauses {
+		nc, taut := c.Normalize()
+		if taut {
+			res.RemovedTautologies++
+			continue
+		}
+		norm = append(norm, nc)
+	}
+	f.Clauses = norm
+
+	// Unit propagation to fixpoint.
+	for {
+		changed := false
+		out := f.Clauses[:0]
+		for _, c := range f.Clauses {
+			nc := make(Clause, 0, len(c))
+			sat := false
+			for _, l := range c {
+				switch fixed[l.Var()].XorSign(l.Sign()) {
+				case lit.True:
+					sat = true
+				case lit.False:
+					// literal falsified: drop it
+					changed = true
+				default:
+					nc = append(nc, l)
+				}
+				if sat {
+					break
+				}
+			}
+			if sat {
+				res.RemovedSatisfied++
+				changed = true
+				continue
+			}
+			if len(nc) == 0 {
+				res.Unsat = true
+				f.Clauses = append(out, nc)
+				return res
+			}
+			if len(nc) == 1 {
+				l := nc[0]
+				cur := fixed[l.Var()]
+				want := lit.TernOf(!l.Sign())
+				if cur == lit.Unknown {
+					fixed[l.Var()] = want
+					res.Units = append(res.Units, l)
+					changed = true
+				} else if cur != want {
+					res.Unsat = true
+					f.Clauses = append(out, nc)
+					return res
+				}
+			}
+			out = append(out, nc)
+		}
+		f.Clauses = out
+		if !changed {
+			break
+		}
+	}
+
+	// Propagation deletes satisfied clauses, which includes the unit
+	// clauses themselves. Re-emit every fixed variable as a unit clause
+	// exactly once so models over all variables are preserved.
+	seenUnit := make(map[lit.Lit]bool)
+	out := f.Clauses[:0]
+	for _, c := range f.Clauses {
+		if len(c) == 1 {
+			if seenUnit[c[0]] {
+				continue
+			}
+			seenUnit[c[0]] = true
+		}
+		out = append(out, c)
+	}
+	for _, u := range res.Units {
+		if !seenUnit[u] {
+			seenUnit[u] = true
+			out = append(out, Clause{u})
+		}
+	}
+	f.Clauses = out
+	return res
+}

@@ -1,0 +1,632 @@
+// Package core implements the paper's primary contribution: a SAT
+// all-solutions enumerator specialized for preimage computation.
+//
+// Instead of the classical solve/block/repeat loop, the enumerator runs a
+// structured DPLL search that branches only on the projection variables
+// (present-state and primary-input variables of a preimage instance), in a
+// fixed static order, and assembles the solution set directly as an ROBDD
+// over those variables:
+//
+//   - Unit propagation uses two-watched literals; internal circuit
+//     variables are never decided, only implied.
+//   - When every original clause is satisfied, the remaining (unassigned)
+//     projection variables are don't cares: the search returns the BDD
+//     constant True, covering 2^k projections at once (cube enlargement).
+//   - When both branches of a projection variable complete, the node
+//     ITE(v, hi, lo) is built in the shared BDD manager, so the final
+//     answer is the preimage as a canonical ROBDD — no blocking clauses
+//     are ever added.
+//   - Success-driven learning: every completed subproblem is memoized
+//     under a canonical signature of its residual — the set of not-yet-
+//     satisfied clauses restricted to their unassigned literals,
+//     maintained as an incremental 128-bit Zobrist hash. When an
+//     equivalent residual recurs — which is frequent in circuits with
+//     reconvergent or replicated logic, and happens across sibling
+//     branches whenever the decided variable has ceased to matter — the
+//     stored solution sub-BDD is grafted in O(1) instead of re-searching.
+//   - Conflict-driven learning is retained: failed branches produce
+//     first-UIP learned clauses that prune later UNSAT regions. Learned
+//     clauses are used only for propagation and conflict detection, never
+//     for the satisfaction test, so they cannot corrupt the enumeration.
+package core
+
+import (
+	"fmt"
+	"math/big"
+
+	"allsatpre/internal/allsat"
+	"allsatpre/internal/bdd"
+	"allsatpre/internal/cnf"
+	"allsatpre/internal/cube"
+	"allsatpre/internal/lit"
+)
+
+// Options tunes the success-driven enumerator.
+type Options struct {
+	// EnableMemo turns success-driven learning (subproblem memoization)
+	// on. Default true via DefaultOptions.
+	EnableMemo bool
+	// EnableLearning turns conflict-clause learning on.
+	EnableLearning bool
+	// MaxLearnedLen drops learned clauses longer than this (0 = keep all).
+	MaxLearnedLen int
+	// MaxDecisions aborts the enumeration once this many decisions have
+	// been made (0 = unbounded). An aborted run returns an
+	// under-approximation of the solution set, flagged in the result.
+	MaxDecisions uint64
+}
+
+// DefaultOptions enables both learning mechanisms.
+func DefaultOptions() Options {
+	return Options{EnableMemo: true, EnableLearning: true}
+}
+
+type clause struct {
+	lits    []lit.Lit
+	learned bool
+}
+
+type watcher struct {
+	cl      *clause
+	blocker lit.Lit
+}
+
+// Enumerator is the success-driven all-solutions engine for one formula
+// and projection. Create with New, run with Enumerate.
+type Enumerator struct {
+	opts Options
+
+	orig    []*clause // original clauses, index-aligned with satBy
+	learned []*clause
+	watches [][]watcher
+
+	assign   []lit.Tern
+	reason   []*clause
+	seen     []byte // analyze scratch
+	dlevel   []int32
+	trailIdx []int32 // variable -> trail position (valid while assigned)
+
+	trail    []lit.Lit
+	trailLim []int
+	qhead    int
+
+	// occ[l] lists original clause indexes containing literal l, for the
+	// satisfied-clause bookkeeping.
+	occ      [][]int32
+	satBy    []int32 // original clause -> trail index that satisfied it, -1
+	unsatCnt int
+
+	// Residual-subproblem signature (success-driven learning). The
+	// residual of a search state is the set of not-yet-satisfied original
+	// clauses, each restricted to its unassigned literals; it exactly
+	// determines the solution set over the remaining projection
+	// variables. resid is a 128-bit Zobrist hash of that residual,
+	// maintained incrementally: contrib[ci] is clause ci's current
+	// contribution (base key ⊕ keys of its falsified literals), XORed
+	// into resid while the clause is unsatisfied.
+	resid   sig128
+	contrib []sig128
+
+	proj   []lit.Var
+	isProj []bool
+	space  *cube.Space
+
+	man  *bdd.Manager
+	memo map[sig128]bdd.Ref
+
+	residScan int  // rotating scan pointer for residualSAT
+	aborted   bool // decision budget exhausted
+
+	stats allsat.Stats
+}
+
+// New prepares an enumerator for formula f projected onto the variables of
+// space (which become the BDD variable order, top to bottom).
+func New(f *cnf.Formula, space *cube.Space, opts Options) *Enumerator {
+	n := f.NumVars
+	e := &Enumerator{
+		opts:     opts,
+		watches:  make([][]watcher, 2*n),
+		assign:   make([]lit.Tern, n),
+		reason:   make([]*clause, n),
+		seen:     make([]byte, n),
+		dlevel:   make([]int32, n),
+		trailIdx: make([]int32, n),
+		occ:      make([][]int32, 2*n),
+		proj:     space.Vars(),
+		isProj:   make([]bool, n),
+		space:    space,
+		man:      bdd.NewOrdered(space.Vars()),
+		memo:     make(map[sig128]bdd.Ref),
+	}
+	for _, v := range e.proj {
+		if int(v) >= n {
+			panic(fmt.Sprintf("core: projection variable %v outside formula", v))
+		}
+		e.isProj[v] = true
+	}
+	for _, c := range f.Clauses {
+		e.addOriginal(c)
+	}
+	return e
+}
+
+// addOriginal normalizes and installs a problem clause. Tautologies are
+// dropped; the empty clause marks the formula unsatisfiable via a
+// sentinel (unsatCnt forced unreachable).
+func (e *Enumerator) addOriginal(c cnf.Clause) {
+	nc, taut := c.Normalize()
+	if taut {
+		return
+	}
+	cl := &clause{lits: append([]lit.Lit(nil), nc...)}
+	ci := int32(len(e.orig))
+	e.orig = append(e.orig, cl)
+	e.satBy = append(e.satBy, -1)
+	e.unsatCnt++
+	base := clauseBase(ci)
+	e.contrib = append(e.contrib, base)
+	e.resid.xor(base)
+	for _, l := range cl.lits {
+		e.occ[l] = append(e.occ[l], ci)
+	}
+	if len(cl.lits) >= 2 {
+		e.attach(cl)
+	}
+	// Unit and empty clauses are handled at Enumerate start.
+}
+
+func (e *Enumerator) attach(cl *clause) {
+	w0, w1 := cl.lits[0].Not(), cl.lits[1].Not()
+	e.watches[w0] = append(e.watches[w0], watcher{cl: cl, blocker: cl.lits[1]})
+	e.watches[w1] = append(e.watches[w1], watcher{cl: cl, blocker: cl.lits[0]})
+}
+
+func (e *Enumerator) litValue(l lit.Lit) lit.Tern {
+	return e.assign[l.Var()].XorSign(l.Sign())
+}
+
+func (e *Enumerator) enqueue(l lit.Lit, from *clause) {
+	v := l.Var()
+	e.assign[v] = lit.TernOf(!l.Sign())
+	e.reason[v] = from
+	e.dlevel[v] = int32(len(e.trailLim))
+	pos := int32(len(e.trail))
+	e.trailIdx[v] = pos
+	e.trail = append(e.trail, l)
+	// Clauses containing l become satisfied: drop them from the residual.
+	for _, ci := range e.occ[l] {
+		if e.satBy[ci] < 0 {
+			e.satBy[ci] = pos
+			e.unsatCnt--
+			e.resid.xor(e.contrib[ci])
+		}
+	}
+	// Clauses containing ¬l lose a literal: fold the falsity key in.
+	nl := l.Not()
+	for _, ci := range e.occ[nl] {
+		k := falseKey(ci, nl)
+		e.contrib[ci].xor(k)
+		if e.satBy[ci] < 0 {
+			e.resid.xor(k)
+		}
+	}
+}
+
+// bcp propagates to fixpoint; returns the conflicting clause or nil.
+func (e *Enumerator) bcp() *clause {
+	for e.qhead < len(e.trail) {
+		p := e.trail[e.qhead]
+		e.qhead++
+		ws := e.watches[p]
+		out := ws[:0]
+		var confl *clause
+	watchLoop:
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			if e.litValue(w.blocker) == lit.True {
+				out = append(out, w)
+				continue
+			}
+			c := w.cl
+			falseLit := p.Not()
+			if c.lits[0] == falseLit {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			first := c.lits[0]
+			if first != w.blocker && e.litValue(first) == lit.True {
+				out = append(out, watcher{cl: c, blocker: first})
+				continue
+			}
+			for k := 2; k < len(c.lits); k++ {
+				if e.litValue(c.lits[k]) != lit.False {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					nw := c.lits[1].Not()
+					e.watches[nw] = append(e.watches[nw], watcher{cl: c, blocker: first})
+					continue watchLoop
+				}
+			}
+			out = append(out, watcher{cl: c, blocker: first})
+			switch e.litValue(first) {
+			case lit.False:
+				confl = c
+				e.qhead = len(e.trail)
+				for i++; i < len(ws); i++ {
+					out = append(out, ws[i])
+				}
+			case lit.Unknown:
+				e.stats.Propagations++
+				e.enqueue(first, c)
+			}
+			if confl != nil {
+				break
+			}
+		}
+		e.watches[p] = out
+		if confl != nil {
+			return confl
+		}
+	}
+	return nil
+}
+
+// pushLevel opens a new decision level and returns the trail mark.
+func (e *Enumerator) pushLevel() int {
+	e.trailLim = append(e.trailLim, len(e.trail))
+	return len(e.trail)
+}
+
+// popLevel undoes the topmost decision level.
+func (e *Enumerator) popLevel() {
+	mark := e.trailLim[len(e.trailLim)-1]
+	e.trailLim = e.trailLim[:len(e.trailLim)-1]
+	for i := len(e.trail) - 1; i >= mark; i-- {
+		l := e.trail[i]
+		v := l.Var()
+		e.assign[v] = lit.Unknown
+		e.reason[v] = nil
+		nl := l.Not()
+		for _, ci := range e.occ[nl] {
+			k := falseKey(ci, nl)
+			e.contrib[ci].xor(k)
+			if e.satBy[ci] < 0 {
+				e.resid.xor(k)
+			}
+		}
+		for _, ci := range e.occ[l] {
+			if e.satBy[ci] == int32(i) {
+				e.satBy[ci] = -1
+				e.unsatCnt++
+				e.resid.xor(e.contrib[ci])
+			}
+		}
+	}
+	e.trail = e.trail[:mark]
+	e.qhead = len(e.trail)
+}
+
+// sig128 is a 128-bit Zobrist hash value.
+type sig128 struct{ a, b uint64 }
+
+func (s *sig128) xor(o sig128) {
+	s.a ^= o.a
+	s.b ^= o.b
+}
+
+// splitmix64 is the SplitMix64 finalizer, used to derive Zobrist keys
+// deterministically from clause ids and literals (no key tables needed).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// clauseBase is the Zobrist key of clause ci being present (unsatisfied,
+// all literals alive) in the residual.
+func clauseBase(ci int32) sig128 {
+	a := splitmix64(uint64(ci)*2 + 1)
+	return sig128{a: a, b: splitmix64(a ^ 0xd1b54a32d192ed03)}
+}
+
+// falseKey is the Zobrist key of literal l of clause ci being falsified.
+func falseKey(ci int32, l lit.Lit) sig128 {
+	a := splitmix64(uint64(ci+1)<<20 ^ uint64(l)*0x9e3779b97f4a7c15)
+	return sig128{a: a, b: splitmix64(a ^ 0x2545f4914f6cdd1d)}
+}
+
+// Result bundles the solution BDD with the shared manager.
+type Result struct {
+	// Manager owns Set; its variable order is the projection order.
+	Manager *bdd.Manager
+	// Set is the projection of all models as an ROBDD.
+	Set bdd.Ref
+	// Stats holds search counters.
+	Stats allsat.Stats
+}
+
+// Enumerate runs the search and returns the solution BDD.
+func (e *Enumerator) Enumerate() *Result {
+	res := &Result{Manager: e.man}
+
+	// Install unit clauses and detect the empty clause.
+	for _, cl := range e.orig {
+		switch len(cl.lits) {
+		case 0:
+			res.Set = bdd.False
+			res.Stats = e.stats
+			return res
+		case 1:
+			switch e.litValue(cl.lits[0]) {
+			case lit.False:
+				res.Set = bdd.False
+				res.Stats = e.stats
+				return res
+			case lit.Unknown:
+				e.enqueue(cl.lits[0], nil)
+			}
+		}
+	}
+	if e.bcp() != nil {
+		res.Set = bdd.False
+		res.Stats = e.stats
+		return res
+	}
+	set := e.enumerate()
+	// Fold in projection literals implied at the root level.
+	for _, l := range e.trail {
+		if e.isProj[l.Var()] {
+			set = e.man.And(set, e.man.Lit(l))
+		}
+	}
+	res.Set = set
+	res.Stats = e.stats
+	res.Stats.BDDNodes = e.man.NumNodes()
+	return res
+}
+
+// enumerate explores the subproblem under the current assignment (BCP
+// complete, conflict-free) and returns its solution set over the
+// still-unassigned projection variables.
+func (e *Enumerator) enumerate() bdd.Ref {
+	if e.unsatCnt == 0 {
+		e.stats.Solutions++
+		return bdd.True
+	}
+	var sig sig128
+	if e.opts.EnableMemo {
+		sig = e.resid
+		e.stats.CacheLookups++
+		if r, ok := e.memo[sig]; ok {
+			e.stats.CacheHits++
+			return r
+		}
+	}
+	// Next decision: the first unassigned projection variable.
+	v := lit.UndefVar
+	for _, pv := range e.proj {
+		if e.assign[pv] == lit.Unknown {
+			v = pv
+			break
+		}
+	}
+	var r bdd.Ref
+	if v == lit.UndefVar {
+		// All projection variables assigned; decide the residual problem.
+		if e.residualSAT() {
+			e.stats.Solutions++
+			r = bdd.True
+		} else {
+			r = bdd.False
+		}
+	} else {
+		lo := e.branch(lit.Neg(v))
+		hi := e.branch(lit.Pos(v))
+		r = e.man.ITE(e.man.Var(v), hi, lo)
+	}
+	// Results computed after an abort may be truncated; keep them out of
+	// the memo so pre-abort entries stay exact.
+	if e.opts.EnableMemo && !e.aborted {
+		e.memo[sig] = r
+	}
+	return r
+}
+
+// branch explores one phase of a decision variable and returns its
+// solution set (with projection literals implied under the branch folded
+// in).
+func (e *Enumerator) branch(dec lit.Lit) bdd.Ref {
+	if e.aborted {
+		return bdd.False
+	}
+	if e.opts.MaxDecisions > 0 && e.stats.Decisions >= e.opts.MaxDecisions {
+		e.aborted = true
+		return bdd.False
+	}
+	mark := e.pushLevel()
+	e.stats.Decisions++
+	e.enqueue(dec, nil)
+	if confl := e.bcp(); confl != nil {
+		e.stats.Conflicts++
+		if e.opts.EnableLearning {
+			e.learnFrom(confl)
+		}
+		e.popLevel()
+		return bdd.False
+	}
+	sub := e.enumerate()
+	if sub != bdd.False {
+		// Fold in projection literals implied by this branch (not the
+		// decision itself — the caller encodes that in the ITE).
+		for i := mark + 1; i < len(e.trail); i++ {
+			l := e.trail[i]
+			if e.isProj[l.Var()] {
+				sub = e.man.And(sub, e.man.Lit(l))
+			}
+		}
+	}
+	e.popLevel()
+	return sub
+}
+
+// learnFrom performs first-UIP conflict analysis and installs the learned
+// clause for future propagation. The clause is implied by the original
+// formula, so it can only prune, never change, the solution set.
+func (e *Enumerator) learnFrom(confl *clause) {
+	level := int32(len(e.trailLim))
+	if level == 0 {
+		return
+	}
+	var learnt []lit.Lit
+	pathC := 0
+	idx := len(e.trail) - 1
+	var p lit.Lit = lit.UndefLit
+	var cleanup []lit.Var
+
+	expand := func(c *clause, skipFirst bool) {
+		start := 0
+		if skipFirst {
+			start = 1
+		}
+		for _, q := range c.lits[start:] {
+			v := q.Var()
+			if e.seen[v] != 0 || e.assign[v] == lit.Unknown {
+				continue
+			}
+			// Root-level literals are globally implied and can be dropped.
+			if e.dlevel[v] == 0 {
+				continue
+			}
+			e.seen[v] = 1
+			cleanup = append(cleanup, v)
+			if e.dlevel[v] >= level {
+				pathC++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+	}
+	expand(confl, false)
+	for pathC > 0 {
+		for idx >= 0 && e.seen[e.trail[idx].Var()] == 0 {
+			idx--
+		}
+		if idx < 0 {
+			break
+		}
+		p = e.trail[idx]
+		idx--
+		e.seen[p.Var()] = 0
+		pathC--
+		if pathC == 0 {
+			break
+		}
+		if rc := e.reason[p.Var()]; rc != nil {
+			expand(rc, true)
+		} else {
+			// Reached a decision before the UIP: abandon learning.
+			for _, v := range cleanup {
+				e.seen[v] = 0
+			}
+			return
+		}
+	}
+	for _, v := range cleanup {
+		e.seen[v] = 0
+	}
+	if !p.IsDef() {
+		return
+	}
+	learnt = append([]lit.Lit{p.Not()}, learnt...)
+	if e.opts.MaxLearnedLen > 0 && len(learnt) > e.opts.MaxLearnedLen {
+		return
+	}
+	cl := &clause{lits: learnt, learned: true}
+	e.learned = append(e.learned, cl)
+	e.stats.BlockingClauses++ // reuse the counter as "learned clauses"
+	e.stats.BlockingLits += uint64(len(learnt))
+	if len(learnt) >= 2 {
+		// Watch the UIP literal and the most recently assigned other
+		// literal, so the clause is inspected as soon as relevant.
+		best := 1
+		for k := 2; k < len(learnt); k++ {
+			if e.trailPos(learnt[k].Var()) > e.trailPos(learnt[best].Var()) {
+				best = k
+			}
+		}
+		learnt[1], learnt[best] = learnt[best], learnt[1]
+		e.attach(cl)
+	}
+}
+
+// trailPos returns the trail index of a currently assigned variable.
+func (e *Enumerator) trailPos(v lit.Var) int {
+	return int(e.trailIdx[v])
+}
+
+// residualSAT decides satisfiability of the residual problem once every
+// projection variable is assigned. For circuit-derived CNF the residual is
+// almost always already decided by propagation (unsatCnt == 0); the
+// fallback is a plain DPLL over the remaining variables.
+func (e *Enumerator) residualSAT() bool {
+	if e.unsatCnt == 0 {
+		return true
+	}
+	// Find an unsatisfied clause with an unassigned literal.
+	n := len(e.orig)
+	for scan := 0; scan < n; scan++ {
+		ci := (e.residScan + scan) % n
+		if e.satBy[ci] >= 0 {
+			continue
+		}
+		e.residScan = ci
+		cl := e.orig[ci]
+		for _, l := range cl.lits {
+			if e.litValue(l) != lit.Unknown {
+				continue
+			}
+			e.pushLevel()
+			e.stats.Decisions++
+			e.enqueue(l, nil)
+			ok := e.bcp() == nil && e.residualSAT()
+			e.popLevel()
+			if ok {
+				return true
+			}
+		}
+		// Every literal of an unsatisfied clause is false or trying each
+		// unassigned one failed: the residual is UNSAT here.
+		return false
+	}
+	return true
+}
+
+// EnumerateToResult runs the engine and converts to the shared allsat
+// result shape. The cover is extracted from the solution BDD with the
+// Minato–Morreale ISOP algorithm, which yields an irredundant
+// sum-of-products — typically far fewer cubes than raw 1-path
+// enumeration, and the compact representation the downstream reachability
+// loop feeds back as its next target.
+func EnumerateToResult(f *cnf.Formula, space *cube.Space, opts Options) *allsat.Result {
+	e := New(f, space, opts)
+	r := e.Enumerate()
+	out := &allsat.Result{
+		Space:   space,
+		Cover:   r.Manager.ISOP(r.Set, space),
+		Count:   r.Manager.SatCount(r.Set),
+		Stats:   r.Stats,
+		Aborted: e.aborted,
+	}
+	out.Stats.Cubes = uint64(out.Cover.Len())
+	return out
+}
+
+// Count is a convenience that returns only the number of projected
+// solutions.
+func Count(f *cnf.Formula, space *cube.Space, opts Options) *big.Int {
+	e := New(f, space, opts)
+	return e.man.SatCount(e.Enumerate().Set)
+}

@@ -1,0 +1,396 @@
+// Package cube implements cubes (partial assignments) and cube covers over
+// a fixed, ordered variable space. Preimage engines report state sets
+// either as ROBDDs or as covers of cubes; this package provides the cover
+// half: containment, intersection, disjoint decomposition, and exact
+// minterm counting.
+package cube
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"allsatpre/internal/lit"
+)
+
+// Space is an ordered list of variables over which cubes are expressed.
+type Space struct {
+	vars  []lit.Var
+	index map[lit.Var]int
+	names []string // optional display names, aligned with vars
+}
+
+// NewSpace builds a space over the given variables (order is significant).
+// Duplicate variables panic.
+func NewSpace(vars []lit.Var) *Space {
+	s := &Space{
+		vars:  append([]lit.Var(nil), vars...),
+		index: make(map[lit.Var]int, len(vars)),
+	}
+	for i, v := range s.vars {
+		if _, dup := s.index[v]; dup {
+			panic(fmt.Sprintf("cube: duplicate variable %v in space", v))
+		}
+		s.index[v] = i
+	}
+	return s
+}
+
+// NewNamedSpace builds a space with display names for each variable.
+func NewNamedSpace(vars []lit.Var, names []string) *Space {
+	if len(names) != len(vars) {
+		panic("cube: names/vars length mismatch")
+	}
+	s := NewSpace(vars)
+	s.names = append([]string(nil), names...)
+	return s
+}
+
+// Size returns the number of variables in the space.
+func (s *Space) Size() int { return len(s.vars) }
+
+// Vars returns the variables of the space in order (shared slice; do not
+// modify).
+func (s *Space) Vars() []lit.Var { return s.vars }
+
+// Name returns the display name of position i.
+func (s *Space) Name(i int) string {
+	if s.names != nil {
+		return s.names[i]
+	}
+	return s.vars[i].String()
+}
+
+// PosOf returns the position of variable v in the space, or -1.
+func (s *Space) PosOf(v lit.Var) int {
+	if i, ok := s.index[v]; ok {
+		return i
+	}
+	return -1
+}
+
+// Cube is a partial assignment over a space: one ternary value per
+// position. Unknown positions are free (don't-care) variables.
+type Cube []lit.Tern
+
+// FullCube returns a cube with every position free.
+func (s *Space) FullCube() Cube { return make(Cube, len(s.vars)) }
+
+// CubeOf builds a cube from a "01X-" string ('-' and 'x' also mean free).
+func (s *Space) CubeOf(pattern string) Cube {
+	if len(pattern) != len(s.vars) {
+		panic(fmt.Sprintf("cube: pattern %q has %d positions, space has %d",
+			pattern, len(pattern), len(s.vars)))
+	}
+	c := s.FullCube()
+	for i, r := range pattern {
+		switch r {
+		case '0':
+			c[i] = lit.False
+		case '1':
+			c[i] = lit.True
+		case 'X', 'x', '-':
+			c[i] = lit.Unknown
+		default:
+			panic(fmt.Sprintf("cube: bad pattern char %q", r))
+		}
+	}
+	return c
+}
+
+// FromModel projects a total model (indexed by variable) onto the space.
+func (s *Space) FromModel(model []bool) Cube {
+	c := s.FullCube()
+	for i, v := range s.vars {
+		if int(v) < len(model) {
+			c[i] = lit.TernOf(model[v])
+		} else {
+			c[i] = lit.False
+		}
+	}
+	return c
+}
+
+// FromAssign projects a ternary assignment (indexed by variable) onto the
+// space, keeping Unknown entries free.
+func (s *Space) FromAssign(assign []lit.Tern) Cube {
+	c := s.FullCube()
+	for i, v := range s.vars {
+		if int(v) < len(assign) {
+			c[i] = assign[v]
+		}
+	}
+	return c
+}
+
+// Clone returns a copy of the cube.
+func (c Cube) Clone() Cube {
+	out := make(Cube, len(c))
+	copy(out, c)
+	return out
+}
+
+// String renders the cube as a 01X pattern.
+func (c Cube) String() string {
+	var sb strings.Builder
+	for _, t := range c {
+		switch t {
+		case lit.True:
+			sb.WriteByte('1')
+		case lit.False:
+			sb.WriteByte('0')
+		default:
+			sb.WriteByte('X')
+		}
+	}
+	return sb.String()
+}
+
+// FreeVars returns the number of free (don't-care) positions.
+func (c Cube) FreeVars() int {
+	n := 0
+	for _, t := range c {
+		if t == lit.Unknown {
+			n++
+		}
+	}
+	return n
+}
+
+// FixedVars returns the number of assigned positions.
+func (c Cube) FixedVars() int { return len(c) - c.FreeVars() }
+
+// Minterms returns the number of minterms covered (2^free). Panics above
+// 62 free variables.
+func (c Cube) Minterms() uint64 {
+	f := c.FreeVars()
+	if f > 62 {
+		panic("cube: minterm count overflow")
+	}
+	return uint64(1) << uint(f)
+}
+
+// Contains reports whether c covers d (every minterm of d is in c). Both
+// must be over the same space.
+func (c Cube) Contains(d Cube) bool {
+	for i := range c {
+		if c[i] != lit.Unknown && c[i] != d[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsMinterm reports whether the total assignment m (one bool per
+// position) lies in c.
+func (c Cube) ContainsMinterm(m []bool) bool {
+	for i := range c {
+		if c[i] != lit.Unknown && c[i] != lit.TernOf(m[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersect returns the conjunction of two cubes, or nil if they are
+// disjoint.
+func (c Cube) Intersect(d Cube) Cube {
+	out := make(Cube, len(c))
+	for i := range c {
+		switch {
+		case c[i] == lit.Unknown:
+			out[i] = d[i]
+		case d[i] == lit.Unknown || d[i] == c[i]:
+			out[i] = c[i]
+		default:
+			return nil
+		}
+	}
+	return out
+}
+
+// Disjoint reports whether the cubes share no minterm.
+func (c Cube) Disjoint(d Cube) bool {
+	for i := range c {
+		if c[i] != lit.Unknown && d[i] != lit.Unknown && c[i] != d[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// Key returns a canonical comparable key for map deduplication.
+func (c Cube) Key() string { return c.String() }
+
+// less orders cubes lexicographically by pattern (0 < 1 < X).
+func (c Cube) less(d Cube) bool {
+	for i := range c {
+		if c[i] != d[i] {
+			return c[i] < d[i]
+		}
+	}
+	return false
+}
+
+// Cover is a set (disjunction) of cubes over one space.
+type Cover struct {
+	space *Space
+	cubes []Cube
+}
+
+// NewCover creates an empty cover over the space.
+func NewCover(s *Space) *Cover { return &Cover{space: s} }
+
+// Space returns the cover's variable space.
+func (cv *Cover) Space() *Space { return cv.space }
+
+// Add appends a cube (no containment check).
+func (cv *Cover) Add(c Cube) {
+	if len(c) != cv.space.Size() {
+		panic("cube: cube/space size mismatch")
+	}
+	cv.cubes = append(cv.cubes, c)
+}
+
+// Len returns the number of cubes.
+func (cv *Cover) Len() int { return len(cv.cubes) }
+
+// Cubes returns the underlying cube slice (shared; do not modify).
+func (cv *Cover) Cubes() []Cube { return cv.cubes }
+
+// Contains reports whether any cube of the cover contains the minterm.
+func (cv *Cover) Contains(m []bool) bool {
+	for _, c := range cv.cubes {
+		if c.ContainsMinterm(m) {
+			return true
+		}
+	}
+	return false
+}
+
+// Reduce removes duplicate cubes and cubes contained in another cube
+// (single-cube containment only, not multi-cube coverage).
+func (cv *Cover) Reduce() {
+	sort.Slice(cv.cubes, func(i, j int) bool {
+		fi, fj := cv.cubes[i].FreeVars(), cv.cubes[j].FreeVars()
+		if fi != fj {
+			return fi > fj // bigger cubes first
+		}
+		return cv.cubes[i].less(cv.cubes[j])
+	})
+	kept := cv.cubes[:0]
+	for _, c := range cv.cubes {
+		contained := false
+		for _, k := range kept {
+			if k.Contains(c) {
+				contained = true
+				break
+			}
+		}
+		if !contained {
+			kept = append(kept, c)
+		}
+	}
+	cv.cubes = kept
+}
+
+// CountMinterms returns the exact number of minterms covered, computed by
+// disjointing the cover (cube-by-cube sharp). Exponential in the worst
+// case but fast on the covers produced by the preimage engines. Panics
+// above 62 variables.
+func (cv *Cover) CountMinterms() uint64 {
+	if cv.space.Size() > 62 {
+		panic("cube: CountMinterms overflow risk above 62 variables")
+	}
+	var total uint64
+	for ci, c := range cv.cubes {
+		// Subtract every earlier cube from c, leaving disjoint fragments.
+		work := []Cube{c.Clone()}
+		for pi := 0; pi < ci && len(work) > 0; pi++ {
+			prev := cv.cubes[pi]
+			var next []Cube
+			for _, w := range work {
+				next = append(next, sharp(w, prev)...)
+			}
+			work = next
+		}
+		for _, w := range work {
+			total += w.Minterms()
+		}
+	}
+	return total
+}
+
+// sharp computes w \ p as a list of disjoint cubes.
+func sharp(w, p Cube) []Cube {
+	if w.Disjoint(p) {
+		return []Cube{w}
+	}
+	var out []Cube
+	cur := w.Clone()
+	for i := range w {
+		if p[i] == lit.Unknown || w[i] != lit.Unknown {
+			continue
+		}
+		// Split cur on variable i: the half disagreeing with p survives.
+		frag := cur.Clone()
+		frag[i] = p[i].Not()
+		out = append(out, frag)
+		cur[i] = p[i]
+	}
+	// cur is now w ∩ p (on the free-var positions); if w and p conflicted
+	// on a fixed position we'd have returned above, so cur ⊆ p and is
+	// dropped entirely.
+	return out
+}
+
+// Equal reports whether two covers denote the same set of minterms, by
+// mutual difference checks on up to 62 variables.
+func (cv *Cover) Equal(other *Cover) bool {
+	if cv.space.Size() != other.space.Size() {
+		return false
+	}
+	return cv.coversAll(other) && other.coversAll(cv)
+}
+
+// coversAll reports whether every minterm of other is contained in cv.
+func (cv *Cover) coversAll(other *Cover) bool {
+	for _, c := range other.cubes {
+		frags := []Cube{c.Clone()}
+		for _, mine := range cv.cubes {
+			var next []Cube
+			for _, f := range frags {
+				next = append(next, sharp(f, mine)...)
+			}
+			frags = next
+			if len(frags) == 0 {
+				break
+			}
+		}
+		if len(frags) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// String lists the cubes one per line.
+func (cv *Cover) String() string {
+	var sb strings.Builder
+	for _, c := range cv.cubes {
+		sb.WriteString(c.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// SortedKeys returns the cube patterns sorted, for stable comparison in
+// tests and tools.
+func (cv *Cover) SortedKeys() []string {
+	keys := make([]string, len(cv.cubes))
+	for i, c := range cv.cubes {
+		keys[i] = c.Key()
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,291 @@
+package cube
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"allsatpre/internal/lit"
+)
+
+func space(n int) *Space {
+	vars := make([]lit.Var, n)
+	for i := range vars {
+		vars[i] = lit.Var(i)
+	}
+	return NewSpace(vars)
+}
+
+func TestSpaceBasics(t *testing.T) {
+	s := space(4)
+	if s.Size() != 4 {
+		t.Fatal("size")
+	}
+	if s.PosOf(2) != 2 || s.PosOf(9) != -1 {
+		t.Fatal("PosOf")
+	}
+	if s.Name(1) != "v1" {
+		t.Errorf("Name = %q", s.Name(1))
+	}
+	ns := NewNamedSpace([]lit.Var{5, 6}, []string{"a", "b"})
+	if ns.Name(0) != "a" || ns.Name(1) != "b" {
+		t.Error("named space names")
+	}
+}
+
+func TestSpacePanics(t *testing.T) {
+	mustPanic(t, func() { NewSpace([]lit.Var{1, 1}) })
+	mustPanic(t, func() { NewNamedSpace([]lit.Var{1}, []string{"a", "b"}) })
+	s := space(2)
+	mustPanic(t, func() { s.CubeOf("1") })
+	mustPanic(t, func() { s.CubeOf("1z") })
+	mustPanic(t, func() { NewCover(s).Add(Cube{lit.True}) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestCubeOfAndString(t *testing.T) {
+	s := space(5)
+	c := s.CubeOf("01X-x")
+	if c.String() != "01XXX" {
+		t.Errorf("String = %q", c.String())
+	}
+	if c.FreeVars() != 3 || c.FixedVars() != 2 {
+		t.Error("free/fixed counts")
+	}
+	if c.Minterms() != 8 {
+		t.Errorf("Minterms = %d", c.Minterms())
+	}
+}
+
+func TestFromModelAndAssign(t *testing.T) {
+	s := NewSpace([]lit.Var{3, 1})
+	c := s.FromModel([]bool{false, true, false, true})
+	if c.String() != "11" {
+		t.Errorf("FromModel = %q", c.String())
+	}
+	// Model shorter than variables: missing vars read false.
+	c2 := s.FromModel([]bool{false, true})
+	if c2.String() != "01" {
+		t.Errorf("FromModel short = %q", c2.String())
+	}
+	a := make([]lit.Tern, 4)
+	a[3] = lit.False
+	c3 := s.FromAssign(a)
+	if c3.String() != "0X" {
+		t.Errorf("FromAssign = %q", c3.String())
+	}
+}
+
+func TestContainsIntersectDisjoint(t *testing.T) {
+	s := space(4)
+	big := s.CubeOf("1XXX")
+	small := s.CubeOf("10X1")
+	if !big.Contains(small) || small.Contains(big) {
+		t.Error("containment")
+	}
+	if got := big.Intersect(small); got == nil || got.String() != "10X1" {
+		t.Errorf("intersect = %v", got)
+	}
+	other := s.CubeOf("0XXX")
+	if big.Intersect(other) != nil {
+		t.Error("disjoint cubes should not intersect")
+	}
+	if !big.Disjoint(other) || big.Disjoint(small) {
+		t.Error("Disjoint mismatch")
+	}
+	x := s.CubeOf("X1XX")
+	got := big.Intersect(x)
+	if got == nil || got.String() != "11XX" {
+		t.Errorf("intersect with free = %v", got)
+	}
+}
+
+func TestContainsMinterm(t *testing.T) {
+	s := space(3)
+	c := s.CubeOf("1X0")
+	if !c.ContainsMinterm([]bool{true, false, false}) {
+		t.Error("should contain 100")
+	}
+	if !c.ContainsMinterm([]bool{true, true, false}) {
+		t.Error("should contain 110")
+	}
+	if c.ContainsMinterm([]bool{true, true, true}) {
+		t.Error("should not contain 111")
+	}
+}
+
+func TestMintermsOverflowPanics(t *testing.T) {
+	s := space(63)
+	mustPanic(t, func() { s.FullCube().Minterms() })
+}
+
+func TestCoverReduce(t *testing.T) {
+	s := space(3)
+	cv := NewCover(s)
+	cv.Add(s.CubeOf("1XX"))
+	cv.Add(s.CubeOf("11X")) // contained
+	cv.Add(s.CubeOf("1XX")) // duplicate
+	cv.Add(s.CubeOf("0X0"))
+	cv.Reduce()
+	if cv.Len() != 2 {
+		t.Fatalf("Reduce left %d cubes: %v", cv.Len(), cv.SortedKeys())
+	}
+}
+
+func bruteCount(cv *Cover) uint64 {
+	n := cv.Space().Size()
+	var cnt uint64
+	m := make([]bool, n)
+	for x := 0; x < 1<<uint(n); x++ {
+		for i := 0; i < n; i++ {
+			m[i] = x&(1<<uint(i)) != 0
+		}
+		if cv.Contains(m) {
+			cnt++
+		}
+	}
+	return cnt
+}
+
+func randomCover(rng *rand.Rand, s *Space, nCubes int) *Cover {
+	cv := NewCover(s)
+	for i := 0; i < nCubes; i++ {
+		c := s.FullCube()
+		for j := range c {
+			switch rng.Intn(3) {
+			case 0:
+				c[j] = lit.True
+			case 1:
+				c[j] = lit.False
+			}
+		}
+		cv.Add(c)
+	}
+	return cv
+}
+
+func TestCountMintermsAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 300; iter++ {
+		s := space(1 + rng.Intn(8))
+		cv := randomCover(rng, s, rng.Intn(6))
+		want := bruteCount(cv)
+		if got := cv.CountMinterms(); got != want {
+			t.Fatalf("iter %d: CountMinterms = %d, want %d\n%s", iter, got, want, cv)
+		}
+	}
+}
+
+func TestCountMintermsAfterReduce(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for iter := 0; iter < 100; iter++ {
+		s := space(2 + rng.Intn(6))
+		cv := randomCover(rng, s, 1+rng.Intn(5))
+		want := cv.CountMinterms()
+		cv.Reduce()
+		if got := cv.CountMinterms(); got != want {
+			t.Fatalf("iter %d: Reduce changed minterms %d -> %d", iter, want, got)
+		}
+	}
+}
+
+func TestCoverEqual(t *testing.T) {
+	s := space(3)
+	a := NewCover(s)
+	a.Add(s.CubeOf("1XX"))
+	b := NewCover(s)
+	b.Add(s.CubeOf("11X"))
+	b.Add(s.CubeOf("10X"))
+	if !a.Equal(b) {
+		t.Error("split cover should equal whole cube")
+	}
+	b.Add(s.CubeOf("0X0"))
+	if a.Equal(b) {
+		t.Error("covers differ after adding a cube")
+	}
+	c := NewCover(space(2))
+	if a.Equal(c) {
+		t.Error("different spaces cannot be equal")
+	}
+}
+
+func TestCoverEqualRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 120; iter++ {
+		s := space(2 + rng.Intn(6))
+		a := randomCover(rng, s, rng.Intn(5))
+		b := randomCover(rng, s, rng.Intn(5))
+		want := true
+		n := s.Size()
+		m := make([]bool, n)
+		for x := 0; x < 1<<uint(n) && want; x++ {
+			for i := 0; i < n; i++ {
+				m[i] = x&(1<<uint(i)) != 0
+			}
+			if a.Contains(m) != b.Contains(m) {
+				want = false
+			}
+		}
+		if got := a.Equal(b); got != want {
+			t.Fatalf("iter %d: Equal = %v, want %v\nA:\n%sB:\n%s", iter, got, want, a, b)
+		}
+	}
+}
+
+func TestSharpProperties(t *testing.T) {
+	// For random cubes w, p: sharp(w,p) fragments are disjoint from p,
+	// pairwise disjoint, contained in w, and together with w∩p cover w.
+	f := func(wRaw, pRaw [6]uint8) bool {
+		s := space(6)
+		w, p := s.FullCube(), s.FullCube()
+		for i := 0; i < 6; i++ {
+			w[i] = lit.Tern(wRaw[i] % 3)
+			p[i] = lit.Tern(pRaw[i] % 3)
+		}
+		frags := sharp(w, p)
+		var total uint64
+		for i, f1 := range frags {
+			if !w.Contains(f1) {
+				return false
+			}
+			if !f1.Disjoint(p) {
+				return false
+			}
+			for j := i + 1; j < len(frags); j++ {
+				if !f1.Disjoint(frags[j]) {
+					return false
+				}
+			}
+			total += f1.Minterms()
+		}
+		inter := w.Intersect(p)
+		var interCnt uint64
+		if inter != nil {
+			interCnt = inter.Minterms()
+		}
+		return total+interCnt == w.Minterms()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortedKeysStable(t *testing.T) {
+	s := space(2)
+	cv := NewCover(s)
+	cv.Add(s.CubeOf("1X"))
+	cv.Add(s.CubeOf("01"))
+	k := cv.SortedKeys()
+	if len(k) != 2 || k[0] != "01" || k[1] != "1X" {
+		t.Errorf("SortedKeys = %v", k)
+	}
+}

@@ -1,0 +1,558 @@
+// Package gen synthesizes the benchmark circuit families used by the
+// evaluation: structured machines with closed-form reachability behaviour
+// (counters, shift registers, LFSRs, Johnson and Gray counters, a traffic
+// controller FSM) and a seeded family of random reconvergent sequential
+// circuits ("SLike") standing in for the ISCAS-89 suite, which is not
+// redistributable here.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"allsatpre/internal/circuit"
+)
+
+// Counter builds an n-bit binary up-counter. If withEnable, an "en" input
+// gates counting (state holds when en=0); otherwise the counter always
+// counts. If withReset, a synchronous "rst" input clears the state and
+// dominates en.
+func Counter(n int, withEnable, withReset bool) *circuit.Circuit {
+	if n < 1 {
+		panic("gen: Counter needs n >= 1")
+	}
+	c := circuit.New(fmt.Sprintf("counter%d", n))
+	en, rst := -1, -1
+	if withEnable {
+		en = c.AddInput("en")
+	}
+	if withReset {
+		rst = c.AddInput("rst")
+	}
+	// Latches with placeholder fanins (patched after logic creation).
+	state := make([]int, n)
+	seed := en
+	if seed < 0 {
+		seed = rst
+	}
+	for i := 0; i < n; i++ {
+		if seed < 0 {
+			// No inputs at all: self-feed placeholder via a constant.
+			seed = c.AddGate(fmt.Sprintf("tie%d", i), circuit.Const0)
+		}
+		state[i] = c.AddLatch(fmt.Sprintf("s%d", i), seed)
+	}
+	// carry chain: c0 = en (or const1), ci = c(i-1) AND s(i-1)
+	var carry int
+	if withEnable {
+		carry = en
+	} else {
+		carry = c.AddGate("cin", circuit.Const1)
+	}
+	d := make([]int, n)
+	for i := 0; i < n; i++ {
+		d[i] = c.AddGate(fmt.Sprintf("sum%d", i), circuit.Xor, state[i], carry)
+		if i+1 < n {
+			carry = c.AddGate(fmt.Sprintf("c%d", i+1), circuit.And, carry, state[i])
+		}
+	}
+	for i := 0; i < n; i++ {
+		next := d[i]
+		if withReset {
+			nrst := c.AddGate(fmt.Sprintf("nr%d", i), circuit.Not, rst)
+			next = c.AddGate(fmt.Sprintf("d%d", i), circuit.And, d[i], nrst)
+		}
+		c.Gates[state[i]].Fanins[0] = next
+	}
+	c.MarkOutput(state[n-1])
+	return c
+}
+
+// ShiftRegister builds an n-bit shift register with serial input "sin":
+// s0' = sin, s(i)' = s(i-1).
+func ShiftRegister(n int) *circuit.Circuit {
+	if n < 1 {
+		panic("gen: ShiftRegister needs n >= 1")
+	}
+	c := circuit.New(fmt.Sprintf("shift%d", n))
+	sin := c.AddInput("sin")
+	state := make([]int, n)
+	for i := 0; i < n; i++ {
+		state[i] = c.AddLatch(fmt.Sprintf("s%d", i), sin)
+	}
+	for i := 1; i < n; i++ {
+		buf := c.AddGate(fmt.Sprintf("b%d", i), circuit.Buf, state[i-1])
+		c.Gates[state[i]].Fanins[0] = buf
+	}
+	c.MarkOutput(state[n-1])
+	return c
+}
+
+// LFSR builds an n-bit Fibonacci linear feedback shift register with the
+// given tap positions (0-based state indices XORed into the feedback).
+// At least one tap is required and taps must be < n.
+func LFSR(n int, taps ...int) *circuit.Circuit {
+	if n < 2 || len(taps) == 0 {
+		panic("gen: LFSR needs n >= 2 and at least one tap")
+	}
+	c := circuit.New(fmt.Sprintf("lfsr%d", n))
+	// No primary inputs: autonomous machine. Give it one dummy "run"
+	// input ANDed nowhere to keep the SAT instances shaped like the rest.
+	state := make([]int, n)
+	tie := c.AddGate("tie", circuit.Const0)
+	for i := 0; i < n; i++ {
+		state[i] = c.AddLatch(fmt.Sprintf("s%d", i), tie)
+	}
+	fb := state[taps[0]]
+	for k := 1; k < len(taps); k++ {
+		if taps[k] >= n || taps[k] < 0 {
+			panic("gen: LFSR tap out of range")
+		}
+		fb = c.AddGate(fmt.Sprintf("fb%d", k), circuit.Xor, fb, state[taps[k]])
+	}
+	fbuf := c.AddGate("fbuf", circuit.Buf, fb)
+	c.Gates[state[0]].Fanins[0] = fbuf
+	for i := 1; i < n; i++ {
+		buf := c.AddGate(fmt.Sprintf("b%d", i), circuit.Buf, state[i-1])
+		c.Gates[state[i]].Fanins[0] = buf
+	}
+	c.MarkOutput(state[n-1])
+	return c
+}
+
+// Johnson builds an n-bit Johnson (twisted-ring) counter: s0' = ¬s(n-1),
+// s(i)' = s(i-1).
+func Johnson(n int) *circuit.Circuit {
+	if n < 2 {
+		panic("gen: Johnson needs n >= 2")
+	}
+	c := circuit.New(fmt.Sprintf("johnson%d", n))
+	tie := c.AddGate("tie", circuit.Const0)
+	state := make([]int, n)
+	for i := 0; i < n; i++ {
+		state[i] = c.AddLatch(fmt.Sprintf("s%d", i), tie)
+	}
+	inv := c.AddGate("inv", circuit.Not, state[n-1])
+	c.Gates[state[0]].Fanins[0] = inv
+	for i := 1; i < n; i++ {
+		buf := c.AddGate(fmt.Sprintf("b%d", i), circuit.Buf, state[i-1])
+		c.Gates[state[i]].Fanins[0] = buf
+	}
+	c.MarkOutput(state[n-1])
+	return c
+}
+
+// GrayCounter builds an n-bit Gray-code counter implemented as a binary
+// counter with an output XOR stage folded into the next-state logic:
+// the state itself steps through Gray codes.
+//
+// Implementation: g' = binary2gray(gray2binary(g) + 1). The conversion
+// chains make it deep and XOR-rich — a good stress case for both engines.
+func GrayCounter(n int) *circuit.Circuit {
+	if n < 1 {
+		panic("gen: GrayCounter needs n >= 1")
+	}
+	c := circuit.New(fmt.Sprintf("gray%d", n))
+	tie := c.AddGate("tie", circuit.Const0)
+	state := make([]int, n)
+	for i := 0; i < n; i++ {
+		state[i] = c.AddLatch(fmt.Sprintf("g%d", i), tie)
+	}
+	// gray → binary: b(n-1) = g(n-1); b(i) = b(i+1) XOR g(i)
+	bin := make([]int, n)
+	bin[n-1] = c.AddGate("btop", circuit.Buf, state[n-1])
+	for i := n - 2; i >= 0; i-- {
+		bin[i] = c.AddGate(fmt.Sprintf("bin%d", i), circuit.Xor, bin[i+1], state[i])
+	}
+	// binary + 1
+	carry := c.AddGate("one", circuit.Const1)
+	sum := make([]int, n)
+	for i := 0; i < n; i++ {
+		sum[i] = c.AddGate(fmt.Sprintf("sum%d", i), circuit.Xor, bin[i], carry)
+		if i+1 < n {
+			carry = c.AddGate(fmt.Sprintf("cy%d", i+1), circuit.And, carry, bin[i])
+		}
+	}
+	// binary → gray: g(i) = b(i) XOR b(i+1); g(n-1) = b(n-1)
+	for i := 0; i < n-1; i++ {
+		g := c.AddGate(fmt.Sprintf("ng%d", i), circuit.Xor, sum[i], sum[i+1])
+		c.Gates[state[i]].Fanins[0] = g
+	}
+	top := c.AddGate("ngtop", circuit.Buf, sum[n-1])
+	c.Gates[state[n-1]].Fanins[0] = top
+	c.MarkOutput(state[n-1])
+	return c
+}
+
+// TrafficLight builds a small two-intersection traffic controller FSM
+// (5 latches, 2 inputs): a main-road/side-road light pair with a car
+// sensor and a walk-request input. It is the "control logic" style
+// benchmark of the suite.
+func TrafficLight() *circuit.Circuit {
+	c := circuit.New("traffic")
+	car := c.AddInput("car")
+	walk := c.AddInput("walk")
+	// One-hot-ish phase encoding in 3 bits + 2 timer bits.
+	p0 := c.AddLatch("p0", car)
+	p1 := c.AddLatch("p1", car)
+	p2 := c.AddLatch("p2", car)
+	t0 := c.AddLatch("t0", car)
+	t1 := c.AddLatch("t1", car)
+
+	// timer increments each cycle, wraps at 3
+	nt0 := c.AddGate("nt0", circuit.Not, t0)
+	tc := c.AddGate("tc", circuit.And, t0, t1)
+	ntc := c.AddGate("ntc", circuit.Not, tc)
+	t1x := c.AddGate("t1x", circuit.Xor, t1, t0)
+	t1n := c.AddGate("t1n", circuit.And, t1x, ntc)
+	t0n := c.AddGate("t0n", circuit.And, nt0, ntc)
+
+	// phase advances when timer wraps and (car or walk) pressure matches
+	go1 := c.AddGate("go1", circuit.Or, car, walk)
+	adv := c.AddGate("adv", circuit.And, tc, go1)
+	nadv := c.AddGate("nadv", circuit.Not, adv)
+
+	hold0 := c.AddGate("hold0", circuit.And, p0, nadv)
+	from2 := c.AddGate("from2", circuit.And, p2, adv)
+	np0 := c.AddGate("np0", circuit.Or, hold0, from2)
+
+	hold1 := c.AddGate("hold1", circuit.And, p1, nadv)
+	from0 := c.AddGate("from0", circuit.And, p0, adv)
+	np1 := c.AddGate("np1", circuit.Or, hold1, from0)
+
+	hold2 := c.AddGate("hold2", circuit.And, p2, nadv)
+	from1 := c.AddGate("from1", circuit.And, p1, adv)
+	np2 := c.AddGate("np2", circuit.Or, hold2, from1)
+
+	c.Gates[p0].Fanins[0] = np0
+	c.Gates[p1].Fanins[0] = np1
+	c.Gates[p2].Fanins[0] = np2
+	c.Gates[t0].Fanins[0] = t0n
+	c.Gates[t1].Fanins[0] = t1n
+
+	green := c.AddGate("green", circuit.Or, p0, p1)
+	c.MarkOutput(green)
+	return c
+}
+
+// Arbiter builds an n-client round-robin arbiter: each client has a
+// request input req_i; one grant latch g_i is hot at a time (or none),
+// and a ⌈log2 n⌉-bit pointer latch tracks whose turn it is. A client is
+// granted when it requests and either holds the grant already or is the
+// pointer's choice while the current holder has released. The pointer
+// advances one position per cycle. Arbiter safety ("at most one grant")
+// is the classic model-checking property for this family.
+func Arbiter(n int) *circuit.Circuit {
+	if n < 2 {
+		panic("gen: Arbiter needs n >= 2")
+	}
+	nPtr := 1
+	for 1<<nPtr < n {
+		nPtr++
+	}
+	c := circuit.New(fmt.Sprintf("arbiter%d", n))
+	req := make([]int, n)
+	for i := range req {
+		req[i] = c.AddInput(fmt.Sprintf("req%d", i))
+	}
+	grant := make([]int, n)
+	for i := range grant {
+		grant[i] = c.AddLatch(fmt.Sprintf("g%d", i), req[0])
+	}
+	ptr := make([]int, nPtr)
+	for i := range ptr {
+		ptr[i] = c.AddLatch(fmt.Sprintf("p%d", i), req[0])
+	}
+	// anyHeld = OR over (g_i AND req_i): a client keeps its grant only
+	// while it keeps requesting.
+	var holds []int
+	for i := 0; i < n; i++ {
+		holds = append(holds, c.AddGate(fmt.Sprintf("hold%d", i), circuit.And, grant[i], req[i]))
+	}
+	anyHeld := holds[0]
+	for i := 1; i < n; i++ {
+		anyHeld = c.AddGate(fmt.Sprintf("anyh%d", i), circuit.Or, anyHeld, holds[i])
+	}
+	free := c.AddGate("free", circuit.Not, anyHeld)
+	// isPtr_i: pointer equals i.
+	isPtr := make([]int, n)
+	for i := 0; i < n; i++ {
+		var bits []int
+		for b := 0; b < nPtr; b++ {
+			if i&(1<<b) != 0 {
+				bits = append(bits, ptr[b])
+			} else {
+				bits = append(bits, c.AddGate(fmt.Sprintf("np%d_%d", i, b), circuit.Not, ptr[b]))
+			}
+		}
+		eq := bits[0]
+		for b := 1; b < nPtr; b++ {
+			eq = c.AddGate(fmt.Sprintf("eq%d_%d", i, b), circuit.And, eq, bits[b])
+		}
+		isPtr[i] = eq
+	}
+	// next grant: hold, or (free AND pointer choice AND request).
+	for i := 0; i < n; i++ {
+		take := c.AddGate(fmt.Sprintf("take%d", i), circuit.And, free, isPtr[i])
+		take = c.AddGate(fmt.Sprintf("takeR%d", i), circuit.And, take, req[i])
+		ng := c.AddGate(fmt.Sprintf("ng%d", i), circuit.Or, holds[i], take)
+		c.Gates[grant[i]].Fanins[0] = ng
+	}
+	// pointer increments modulo 2^nPtr every cycle.
+	carry := c.AddGate("pone", circuit.Const1)
+	for b := 0; b < nPtr; b++ {
+		s := c.AddGate(fmt.Sprintf("ps%d", b), circuit.Xor, ptr[b], carry)
+		if b+1 < nPtr {
+			carry = c.AddGate(fmt.Sprintf("pc%d", b), circuit.And, ptr[b], carry)
+		}
+		c.Gates[ptr[b]].Fanins[0] = s
+	}
+	// Output: any grant active.
+	anyG := grant[0]
+	for i := 1; i < n; i++ {
+		anyG = c.AddGate(fmt.Sprintf("anyg%d", i), circuit.Or, anyG, grant[i])
+	}
+	c.MarkOutput(anyG)
+	return c
+}
+
+// FIFOCtrl builds the control skeleton of a 2^n-entry FIFO: an n-bit
+// head pointer, an n-bit tail pointer, and a "last operation was push"
+// flag used to disambiguate the full and empty conditions when the
+// pointers coincide. Inputs are push and pop requests; pushes are
+// ignored when full, pops when empty. The classic safety properties —
+// "never full and empty at once" is structural, and over/underflow
+// freedom — make it a standard model-checking workload.
+func FIFOCtrl(n int) *circuit.Circuit {
+	if n < 1 {
+		panic("gen: FIFOCtrl needs n >= 1")
+	}
+	c := circuit.New(fmt.Sprintf("fifo%d", n))
+	push := c.AddInput("push")
+	pop := c.AddInput("pop")
+	head := make([]int, n)
+	tail := make([]int, n)
+	for i := 0; i < n; i++ {
+		head[i] = c.AddLatch(fmt.Sprintf("h%d", i), push)
+	}
+	for i := 0; i < n; i++ {
+		tail[i] = c.AddLatch(fmt.Sprintf("t%d", i), push)
+	}
+	lastPush := c.AddLatch("lp", push)
+
+	// eq = head == tail
+	eq := -1
+	for i := 0; i < n; i++ {
+		x := c.AddGate(fmt.Sprintf("xn%d", i), circuit.Xnor, head[i], tail[i])
+		if eq < 0 {
+			eq = x
+		} else {
+			eq = c.AddGate(fmt.Sprintf("eqa%d", i), circuit.And, eq, x)
+		}
+	}
+	full := c.AddGate("full", circuit.And, eq, lastPush)
+	nLast := c.AddGate("nlp", circuit.Not, lastPush)
+	empty := c.AddGate("empty", circuit.And, eq, nLast)
+	nFull := c.AddGate("nfull", circuit.Not, full)
+	nEmpty := c.AddGate("nempty", circuit.Not, empty)
+
+	doPush := c.AddGate("doPush", circuit.And, push, nFull)
+	doPop := c.AddGate("doPop", circuit.And, pop, nEmpty)
+
+	inc := func(prefix string, bits []int, en int) []int {
+		carry := en
+		out := make([]int, len(bits))
+		for i := range bits {
+			out[i] = c.AddGate(fmt.Sprintf("%ss%d", prefix, i), circuit.Xor, bits[i], carry)
+			if i+1 < len(bits) {
+				carry = c.AddGate(fmt.Sprintf("%sc%d", prefix, i), circuit.And, carry, bits[i])
+			}
+		}
+		return out
+	}
+	nt := inc("t", tail, doPush)
+	nh := inc("h", head, doPop)
+	for i := 0; i < n; i++ {
+		c.Gates[tail[i]].Fanins[0] = nt[i]
+		c.Gates[head[i]].Fanins[0] = nh[i]
+	}
+	// lastPush updates on any effective operation: set on push, cleared
+	// on pop; holds otherwise. pop wins ties (conservative: a same-cycle
+	// push+pop leaves occupancy unchanged and clears the flag only if
+	// the pop was effective).
+	nDoPop := c.AddGate("ndoPop", circuit.Not, doPop)
+	hold := c.AddGate("hold", circuit.And, lastPush, nDoPop)
+	nlp := c.AddGate("nlpv", circuit.Or, doPush, hold)
+	// A push and pop together keep the flag set via doPush; that is
+	// consistent because occupancy stays > 0 after push onto non-full.
+	c.Gates[lastPush].Fanins[0] = nlp
+
+	c.MarkOutput(full)
+	c.MarkOutput(empty)
+	return c
+}
+
+// MultCore builds the BDD-hostile workload of the suite: an n×n array
+// multiplier in the next-state logic. The multiplicand is the present
+// state XOR-masked by one input word, the multiplier is a second input
+// word, and the next state is the middle slice of the product — the
+// product's middle bits are the classic functions with exponential ROBDD
+// size in n, so the symbolic engine degrades while the SAT engines only
+// see a linear-size CNF.
+//
+//	a = s ⊕ x;  p = a · y;  s' = p[n/2 .. n/2+n-1]
+func MultCore(n int) *circuit.Circuit {
+	if n < 2 {
+		panic("gen: MultCore needs n >= 2")
+	}
+	c := circuit.New(fmt.Sprintf("mult%d", n))
+	x := make([]int, n)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		x[i] = c.AddInput(fmt.Sprintf("x%d", i))
+	}
+	for i := 0; i < n; i++ {
+		y[i] = c.AddInput(fmt.Sprintf("y%d", i))
+	}
+	s := make([]int, n)
+	for i := 0; i < n; i++ {
+		s[i] = c.AddLatch(fmt.Sprintf("s%d", i), x[0])
+	}
+	a := make([]int, n)
+	for i := 0; i < n; i++ {
+		a[i] = c.AddGate(fmt.Sprintf("a%d", i), circuit.Xor, s[i], x[i])
+	}
+	// Array multiplier: rows of partial products accumulated with
+	// ripple-carry adders. sum[j] holds product bit j of the rows added
+	// so far.
+	zero := c.AddGate("zero", circuit.Const0)
+	sum := make([]int, 2*n)
+	for j := range sum {
+		sum[j] = zero
+	}
+	fullAdder := func(tag string, p, q, cin int) (sumOut, coutOut int) {
+		axb := c.AddGate(tag+"_ab", circuit.Xor, p, q)
+		so := c.AddGate(tag+"_s", circuit.Xor, axb, cin)
+		and1 := c.AddGate(tag+"_g1", circuit.And, p, q)
+		and2 := c.AddGate(tag+"_g2", circuit.And, axb, cin)
+		co := c.AddGate(tag+"_c", circuit.Or, and1, and2)
+		return so, co
+	}
+	for i := 0; i < n; i++ { // row i: a * y_i << i
+		carry := zero
+		for j := 0; j < n; j++ {
+			pp := c.AddGate(fmt.Sprintf("pp%d_%d", i, j), circuit.And, a[j], y[i])
+			so, co := fullAdder(fmt.Sprintf("fa%d_%d", i, j), sum[i+j], pp, carry)
+			sum[i+j] = so
+			carry = co
+		}
+		// Propagate the final carry into the higher bits.
+		for j := i + n; j < 2*n && carry != zero; j++ {
+			so := c.AddGate(fmt.Sprintf("cs%d_%d", i, j), circuit.Xor, sum[j], carry)
+			co := c.AddGate(fmt.Sprintf("cc%d_%d", i, j), circuit.And, sum[j], carry)
+			sum[j] = so
+			carry = co
+		}
+	}
+	lo := n / 2
+	for i := 0; i < n; i++ {
+		c.Gates[s[i]].Fanins[0] = sum[lo+i]
+	}
+	c.MarkOutput(s[n-1])
+	return c
+}
+
+// SLikeParams parameterizes the random reconvergent sequential family.
+type SLikeParams struct {
+	// Seed drives the deterministic pseudo-random construction.
+	Seed int64
+	// Inputs, Latches, Gates set the netlist dimensions.
+	Inputs, Latches, Gates int
+	// XorFraction (0..1) is the probability a gate is XOR/XNOR — higher
+	// values produce harder, more BDD-hostile logic. Default 0.15.
+	XorFraction float64
+}
+
+// SLike builds a seeded random sequential circuit in the style of the
+// ISCAS-89 suite: a DAG of 2-input gates over the inputs and latch
+// outputs, with reconvergent fanout (fanins biased toward recent gates),
+// latch next-states tapped from deep gates, and one output.
+func SLike(p SLikeParams) *circuit.Circuit {
+	if p.Inputs < 1 || p.Latches < 1 || p.Gates < 1 {
+		panic("gen: SLike needs at least one input, latch, and gate")
+	}
+	xf := p.XorFraction
+	if xf == 0 {
+		xf = 0.15
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	c := circuit.New(fmt.Sprintf("slike_s%d_g%d_l%d", p.Seed, p.Gates, p.Latches))
+	for i := 0; i < p.Inputs; i++ {
+		c.AddInput(fmt.Sprintf("x%d", i))
+	}
+	state := make([]int, p.Latches)
+	for i := 0; i < p.Latches; i++ {
+		state[i] = c.AddLatch(fmt.Sprintf("s%d", i), 0)
+	}
+	types := []circuit.GateType{circuit.And, circuit.Or, circuit.Nand, circuit.Nor}
+	gates := make([]int, 0, p.Gates)
+	pick := func() int {
+		// Bias toward recent gates for depth and reconvergence.
+		pool := p.Inputs + p.Latches + len(gates)
+		if len(gates) > 0 && rng.Float64() < 0.6 {
+			// among the last half of created gates
+			lo := len(gates) / 2
+			return gates[lo+rng.Intn(len(gates)-lo)]
+		}
+		return rng.Intn(pool) // inputs and latches occupy the first ids
+	}
+	for g := 0; g < p.Gates; g++ {
+		var typ circuit.GateType
+		if rng.Float64() < xf {
+			if rng.Intn(2) == 0 {
+				typ = circuit.Xor
+			} else {
+				typ = circuit.Xnor
+			}
+		} else {
+			typ = types[rng.Intn(len(types))]
+		}
+		a, b := pick(), pick()
+		for b == a {
+			b = pick()
+		}
+		gates = append(gates, c.AddGate(fmt.Sprintf("g%d", g), typ, a, b))
+	}
+	// Latch next-states from the deepest third of gates.
+	for i := 0; i < p.Latches; i++ {
+		lo := 2 * len(gates) / 3
+		src := gates[lo+rng.Intn(len(gates)-lo)]
+		c.Gates[state[i]].Fanins[0] = src
+	}
+	c.MarkOutput(gates[len(gates)-1])
+	return c
+}
+
+// Suite returns the standard benchmark set used by the experiment
+// harness: name → constructor. Kept small enough that every experiment
+// runs in seconds, large enough to expose the engine crossovers.
+func Suite() []NamedCircuit {
+	return []NamedCircuit{
+		{"counter8", Counter(8, true, false)},
+		{"counter12", Counter(12, true, false)},
+		{"shift8", ShiftRegister(8)},
+		{"lfsr8", LFSR(8, 0, 3, 4, 5)},
+		{"johnson8", Johnson(8)},
+		{"gray6", GrayCounter(6)},
+		{"traffic", TrafficLight()},
+		{"slike1", SLike(SLikeParams{Seed: 1, Inputs: 6, Latches: 6, Gates: 60})},
+		{"slike2", SLike(SLikeParams{Seed: 2, Inputs: 8, Latches: 8, Gates: 120})},
+		{"slike3", SLike(SLikeParams{Seed: 3, Inputs: 10, Latches: 10, Gates: 220})},
+	}
+}
+
+// NamedCircuit pairs a display name with a circuit.
+type NamedCircuit struct {
+	Name    string
+	Circuit *circuit.Circuit
+}

@@ -1,0 +1,104 @@
+package genspec
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"allsatpre/internal/preimage"
+)
+
+func TestResolveGenerators(t *testing.T) {
+	cases := []struct {
+		spec            string
+		inputs, latches int
+	}{
+		{"counter:5", 1, 5},
+		{"counter-free:4", 0, 4},
+		{"shift:6", 1, 6},
+		{"lfsr:5,0,2", 0, 5},
+		{"johnson:4", 0, 4},
+		{"gray:4", 0, 4},
+		{"traffic", 2, 5},
+		{"arbiter:3", 3, 5},
+		{"mult:4", 8, 4},
+		{"fifo:2", 2, 5},
+		{"slike:7,30,4,3", 3, 4},
+	}
+	for _, tc := range cases {
+		c, err := Resolve(tc.spec)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.spec, err)
+		}
+		if len(c.Inputs) != tc.inputs || len(c.Latches) != tc.latches {
+			t.Fatalf("%s: PI=%d FF=%d, want PI=%d FF=%d",
+				tc.spec, len(c.Inputs), len(c.Latches), tc.inputs, tc.latches)
+		}
+	}
+}
+
+func TestResolveBenchFile(t *testing.T) {
+	path := filepath.Join("..", "..", "testdata", "s27.bench")
+	c, err := Resolve(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Latches) != 3 {
+		t.Fatal("s27 should have 3 latches")
+	}
+}
+
+func TestResolveAigerFile(t *testing.T) {
+	path := filepath.Join("..", "..", "testdata", "johnson4.aag")
+	c, err := Resolve(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Latches) != 4 {
+		t.Fatal("johnson4.aag should have 4 latches")
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	bad := []string{
+		"nope.bench",   // missing file
+		"frobnicate:3", // unknown generator
+		"counter:",     // missing args
+		"counter:1,2",  // wrong arity
+		"counter:x",    // non-integer
+		"shift:1,2",    // wrong arity
+		"lfsr:4",       // missing taps
+		"arbiter:1,2",  // wrong arity
+		"fifo:",        // empty args
+		"mult:2,3",     // wrong arity
+		"johnson:1,2",  // wrong arity
+		"gray:",        // empty args
+		"slike:1,2",    // wrong arity
+	}
+	for _, spec := range bad {
+		if _, err := Resolve(spec); err == nil {
+			t.Errorf("%s: expected error", spec)
+		}
+	}
+	_ = os.ErrNotExist
+}
+
+func TestEngineNames(t *testing.T) {
+	cases := map[string]preimage.Engine{
+		"success":        preimage.EngineSuccessDriven,
+		"success-driven": preimage.EngineSuccessDriven,
+		"sd":             preimage.EngineSuccessDriven,
+		"blocking":       preimage.EngineBlocking,
+		"lifting":        preimage.EngineLifting,
+		"bdd":            preimage.EngineBDD,
+	}
+	for name, want := range cases {
+		got, err := Engine(name)
+		if err != nil || got != want {
+			t.Errorf("Engine(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := Engine("quantum"); err == nil {
+		t.Error("expected error for unknown engine")
+	}
+}

@@ -1,0 +1,133 @@
+package preimage
+
+import (
+	"fmt"
+
+	"allsatpre/internal/bdd"
+	"allsatpre/internal/circuit"
+	"allsatpre/internal/cube"
+	"allsatpre/internal/lit"
+)
+
+// bddVars fixes the BDD variable layout for a circuit with L latches and
+// I inputs: present-state bit k ↦ var 2k, next-state bit k ↦ var 2k+1
+// (interleaved, the classic pairing for transition relations), primary
+// input j ↦ var 2L+j.
+type bddVars struct {
+	nL, nI int
+}
+
+func (bv bddVars) state(k int) lit.Var { return lit.Var(2 * k) }
+func (bv bddVars) next(k int) lit.Var  { return lit.Var(2*k + 1) }
+func (bv bddVars) input(j int) lit.Var { return lit.Var(2*bv.nL + j) }
+
+func (bv bddVars) order() []lit.Var {
+	var out []lit.Var
+	for k := 0; k < bv.nL; k++ {
+		out = append(out, bv.state(k), bv.next(k))
+	}
+	for j := 0; j < bv.nI; j++ {
+		out = append(out, bv.input(j))
+	}
+	return out
+}
+
+// segregatedOrder places all present-state variables before all
+// next-state variables (the textbook-bad ordering for transition
+// relations); used by the ordering ablation.
+func (bv bddVars) segregatedOrder() []lit.Var {
+	var out []lit.Var
+	for k := 0; k < bv.nL; k++ {
+		out = append(out, bv.state(k))
+	}
+	for k := 0; k < bv.nL; k++ {
+		out = append(out, bv.next(k))
+	}
+	for j := 0; j < bv.nI; j++ {
+		out = append(out, bv.input(j))
+	}
+	return out
+}
+
+// computeBDD computes the preimage symbolically:
+//
+//	Pre(N)(s) = ∃x ∃s'. N(s') ∧ ∏_k (s'_k ≡ δ_k(s, x))
+//
+// with the product evaluated as a sequence of AndExists relational
+// products, quantifying each s'_k as soon as its partition is conjoined
+// (early quantification), then quantifying the inputs.
+func computeBDD(c *circuit.Circuit, target *cube.Cover, opts Options) (*Result, error) {
+	if target.Space().Size() != len(c.Latches) {
+		return nil, fmt.Errorf("preimage: target has %d positions, circuit has %d latches",
+			target.Space().Size(), len(c.Latches))
+	}
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	bv := bddVars{nL: len(c.Latches), nI: len(c.Inputs)}
+	varOrder := bv.order()
+	if opts.BDDSegregatedOrder {
+		varOrder = bv.segregatedOrder()
+	}
+	m := bdd.NewOrdered(varOrder)
+	val, err := gateBDDs(m, c, bv, order)
+	if err != nil {
+		return nil, err
+	}
+
+	// Target over next-state variables.
+	nextSpace := func() *cube.Space {
+		vars := make([]lit.Var, bv.nL)
+		for k := range vars {
+			vars[k] = bv.next(k)
+		}
+		return cube.NewSpace(vars)
+	}()
+	nPrime := bdd.False
+	for _, cb := range target.Cubes() {
+		nPrime = m.Or(nPrime, m.FromCube(nextSpace, cb))
+	}
+
+	// Partitioned relational product with early quantification: each
+	// partition T_k = (s'_k ≡ δ_k) is the only one mentioning s'_k
+	// besides the shrinking R, so s'_k is quantified immediately.
+	r := nPrime
+	for k, gi := range c.Latches {
+		delta := val[c.Gates[gi].Fanins[0]]
+		tk := m.Xnor(m.Var(bv.next(k)), delta)
+		r = m.AndExists(r, tk, m.CubeVars([]lit.Var{bv.next(k)}))
+	}
+	// Quantify the primary inputs.
+	inVars := make([]lit.Var, bv.nI)
+	for j := range inVars {
+		inVars[j] = bv.input(j)
+	}
+	r = m.ExistsVars(r, inVars)
+
+	// Read the result back over the canonical state space.
+	mgrStateSpace := func() *cube.Space {
+		vars := make([]lit.Var, bv.nL)
+		for k := range vars {
+			vars[k] = bv.state(k)
+		}
+		return cube.NewSpace(vars)
+	}()
+	if opts.Restrict != nil {
+		if len(opts.Restrict) != bv.nL {
+			return nil, fmt.Errorf("preimage: Restrict has %d positions, circuit has %d latches",
+				len(opts.Restrict), bv.nL)
+		}
+		r = m.And(r, m.FromCube(mgrStateSpace, opts.Restrict))
+	}
+	stateSpace := StateSpace(c)
+	states := canonicalize(stateSpace, m.ISOP(r, mgrStateSpace))
+
+	return &Result{
+		States:     states,
+		StateSpace: stateSpace,
+		Count:      m.SatCountIn(r, mgrStateSpace.Vars()),
+		BDDNodes:   m.NumNodes(),
+		Engine:     EngineBDD,
+	}, nil
+}

@@ -1,0 +1,240 @@
+package preimage
+
+import (
+	"fmt"
+
+	"allsatpre/internal/allsat"
+	"allsatpre/internal/bdd"
+	"allsatpre/internal/circuit"
+	"allsatpre/internal/core"
+	"allsatpre/internal/cube"
+	"allsatpre/internal/lit"
+	"allsatpre/internal/trans"
+)
+
+// Image computes the forward image of an initial state set — the set of
+// states reachable in exactly one transition from init:
+//
+//	Img(I)(s') = ∃s ∃x. I(s) ∧ T(s, x, s')
+//
+// The same four engines are available. For the SAT engines the projection
+// is onto the next-state variables, so the success-driven enumerator's
+// decision order is s' (the cut that functionally *depends on* the rest,
+// rather than determining it — image is the harder direction for
+// cut-based enumeration, exactly as the paper observes for preimage's
+// dual).
+func Image(c *circuit.Circuit, init *cube.Cover, opts Options) (*Result, error) {
+	if opts.Engine == EngineBDD {
+		return imageBDD(c, init)
+	}
+	inst, err := trans.NewImageInstance(c, init)
+	if err != nil {
+		return nil, err
+	}
+	// Projection: the next-state variables in latch order (deduplicated —
+	// latches may share a next-state gate). They are internal gate
+	// variables of the Tseitin CNF, which the enumerators handle like any
+	// other projection set.
+	stateSpace := StateSpace(c)
+	projSpace := cube.NewSpace(dedupVars(inst.NextVars))
+
+	var res *allsat.Result
+	switch opts.Engine {
+	case EngineSuccessDriven:
+		co := opts.Core
+		if co == (core.Options{}) {
+			co = core.DefaultOptions()
+		}
+		res = core.EnumerateToResult(inst.F, projSpace, co)
+	case EngineBlocking:
+		res = allsat.EnumerateBlocking(inst.F, projSpace, opts.AllSAT)
+	case EngineLifting:
+		res = allsat.EnumerateLifting(inst.F, projSpace, opts.AllSAT)
+	default:
+		return nil, fmt.Errorf("preimage: unknown engine %v", opts.Engine)
+	}
+
+	// Expand the (deduplicated) projection cover back onto the full latch
+	// order. Latches whose next-state functions share a gate share a
+	// projection variable; if that variable is free in a cube, the latch
+	// bits are "free but equal", which a cube cannot express — such cubes
+	// are split on the shared variable's two values.
+	sharedFree := func(cb cube.Cube) lit.Var {
+		counts := map[lit.Var]int{}
+		for _, v := range inst.NextVars {
+			counts[v]++
+		}
+		for v, n := range counts {
+			if n > 1 && cb[projSpace.PosOf(v)] == lit.Unknown {
+				return v
+			}
+		}
+		return lit.UndefVar
+	}
+	states := cube.NewCover(stateSpace)
+	var expand func(cb cube.Cube)
+	expand = func(cb cube.Cube) {
+		if v := sharedFree(cb); v != lit.UndefVar {
+			for _, val := range []lit.Tern{lit.False, lit.True} {
+				split := cb.Clone()
+				split[projSpace.PosOf(v)] = val
+				expand(split)
+			}
+			return
+		}
+		sc := stateSpace.FullCube()
+		for i, v := range inst.NextVars {
+			sc[i] = cb[projSpace.PosOf(v)]
+		}
+		states.Add(sc)
+	}
+	for _, cb := range res.Cover.Cubes() {
+		expand(cb)
+	}
+	states.Reduce()
+	out := &Result{
+		States:     states,
+		StateSpace: stateSpace,
+		Stats:      res.Stats,
+		BDDNodes:   res.Stats.BDDNodes,
+		Engine:     opts.Engine,
+		Aborted:    res.Aborted,
+	}
+	out.Count = countStates(states)
+	return out, nil
+}
+
+// dedupVars removes duplicate variables while preserving first-occurrence
+// order. Two latches may share the same next-state gate (and hence CNF
+// variable); a cube space must not list a variable twice.
+func dedupVars(vars []lit.Var) []lit.Var {
+	seen := map[lit.Var]bool{}
+	out := make([]lit.Var, 0, len(vars))
+	for _, v := range vars {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// imageBDD computes the forward image symbolically: the next-state
+// functions are built over (s, x), conjoined with the initial set, and
+// (s, x) is quantified out of the transition product.
+func imageBDD(c *circuit.Circuit, init *cube.Cover) (*Result, error) {
+	if init.Space().Size() != len(c.Latches) {
+		return nil, fmt.Errorf("preimage: init has %d positions, circuit has %d latches",
+			init.Space().Size(), len(c.Latches))
+	}
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	bv := bddVars{nL: len(c.Latches), nI: len(c.Inputs)}
+	m := bdd.NewOrdered(bv.order())
+	val, err := gateBDDs(m, c, bv, order)
+	if err != nil {
+		return nil, err
+	}
+
+	curSpace := func() *cube.Space {
+		vars := make([]lit.Var, bv.nL)
+		for k := range vars {
+			vars[k] = bv.state(k)
+		}
+		return cube.NewSpace(vars)
+	}()
+	r := bdd.False
+	for _, cb := range init.Cubes() {
+		r = m.Or(r, m.FromCube(curSpace, cb))
+	}
+	// Conjoin all transition partitions, then quantify (s, x). Unlike the
+	// preimage direction there is no per-partition early quantification:
+	// every δ_k shares the s and x variables.
+	for k, gi := range c.Latches {
+		delta := val[c.Gates[gi].Fanins[0]]
+		r = m.And(r, m.Xnor(m.Var(bv.next(k)), delta))
+	}
+	var quant []lit.Var
+	for k := 0; k < bv.nL; k++ {
+		quant = append(quant, bv.state(k))
+	}
+	for j := 0; j < bv.nI; j++ {
+		quant = append(quant, bv.input(j))
+	}
+	r = m.ExistsVars(r, quant)
+
+	nextSpace := func() *cube.Space {
+		vars := make([]lit.Var, bv.nL)
+		for k := range vars {
+			vars[k] = bv.next(k)
+		}
+		return cube.NewSpace(vars)
+	}()
+	stateSpace := StateSpace(c)
+	states := canonicalize(stateSpace, m.ISOP(r, nextSpace))
+	return &Result{
+		States:     states,
+		StateSpace: stateSpace,
+		Count:      m.SatCountIn(r, nextSpace.Vars()),
+		BDDNodes:   m.NumNodes(),
+		Engine:     EngineBDD,
+	}, nil
+}
+
+// gateBDDs builds the per-gate BDDs over (state, input) variables; shared
+// by the preimage and image BDD engines.
+func gateBDDs(m *bdd.Manager, c *circuit.Circuit, bv bddVars, order []int) ([]bdd.Ref, error) {
+	val := make([]bdd.Ref, len(c.Gates))
+	latchPos := make(map[int]int, bv.nL)
+	for k, gi := range c.Latches {
+		latchPos[gi] = k
+	}
+	inputPos := make(map[int]int, bv.nI)
+	for j, gi := range c.Inputs {
+		inputPos[gi] = j
+	}
+	for _, i := range order {
+		g := &c.Gates[i]
+		switch g.Type {
+		case circuit.Input:
+			val[i] = m.Var(bv.input(inputPos[i]))
+		case circuit.DFF:
+			val[i] = m.Var(bv.state(latchPos[i]))
+		case circuit.Const0:
+			val[i] = bdd.False
+		case circuit.Const1:
+			val[i] = bdd.True
+		case circuit.Buf:
+			val[i] = val[g.Fanins[0]]
+		case circuit.Not:
+			val[i] = m.Not(val[g.Fanins[0]])
+		case circuit.And, circuit.Nand:
+			r := bdd.True
+			for _, f := range g.Fanins {
+				r = m.And(r, val[f])
+			}
+			if g.Type == circuit.Nand {
+				r = m.Not(r)
+			}
+			val[i] = r
+		case circuit.Or, circuit.Nor:
+			r := bdd.False
+			for _, f := range g.Fanins {
+				r = m.Or(r, val[f])
+			}
+			if g.Type == circuit.Nor {
+				r = m.Not(r)
+			}
+			val[i] = r
+		case circuit.Xor:
+			val[i] = m.Xor(val[g.Fanins[0]], val[g.Fanins[1]])
+		case circuit.Xnor:
+			val[i] = m.Xnor(val[g.Fanins[0]], val[g.Fanins[1]])
+		default:
+			return nil, fmt.Errorf("preimage: unsupported gate %v", g.Type)
+		}
+	}
+	return val, nil
+}

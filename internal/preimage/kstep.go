@@ -1,0 +1,139 @@
+package preimage
+
+import (
+	"fmt"
+
+	"allsatpre/internal/allsat"
+	"allsatpre/internal/circuit"
+	"allsatpre/internal/cnf"
+	"allsatpre/internal/core"
+	"allsatpre/internal/cube"
+	"allsatpre/internal/lit"
+	"allsatpre/internal/tseitin"
+)
+
+// KStepPreimage computes, in a single all-SAT enumeration over an
+// unrolled transition CNF, the set of states that can reach the target
+// within at most k transitions — the union of the first k+1 backward
+// layers, obtained without iterating preimages. Only the SAT engines
+// apply (the BDD engine has no unrolled formulation here).
+//
+// The unrolling chains k copies of the combinational next-state logic;
+// a per-frame selector asserts "the state at frame i is in the target",
+// and the disjunction of the selectors requires some frame to hit it.
+// The projection is the frame-0 state vector.
+func KStepPreimage(c *circuit.Circuit, target *cube.Cover, k int, opts Options) (*Result, error) {
+	if opts.Engine == EngineBDD {
+		return nil, fmt.Errorf("preimage: KStepPreimage supports only the SAT engines")
+	}
+	if k < 0 {
+		return nil, fmt.Errorf("preimage: negative step bound %d", k)
+	}
+	if target.Space().Size() != len(c.Latches) {
+		return nil, fmt.Errorf("preimage: target has %d positions, circuit has %d latches",
+			target.Space().Size(), len(c.Latches))
+	}
+	enc, err := tseitin.Encode(c)
+	if err != nil {
+		return nil, err
+	}
+
+	f := cnf.New(0)
+	nL := len(c.Latches)
+	// Frame-0 state variables come first so the enumerators decide them
+	// at the top of the search (and of the solution BDD).
+	state0 := make([]lit.Var, nL)
+	for i := range state0 {
+		state0[i] = f.NewVar()
+	}
+
+	// Unroll k frames of the transition logic.
+	frameState := [][]lit.Var{state0}
+	cur := state0
+	for frame := 0; frame < k; frame++ {
+		base := f.NumVars
+		mapVar := make([]lit.Var, enc.F.NumVars)
+		for v := 0; v < enc.F.NumVars; v++ {
+			mapVar[v] = lit.Var(base + v)
+		}
+		for i, sv := range enc.StateVars {
+			mapVar[sv] = cur[i]
+		}
+		f.NumVars = base + enc.F.NumVars
+		for _, cl := range enc.F.Clauses {
+			lits := make([]lit.Lit, len(cl))
+			for i, l := range cl {
+				lits[i] = lit.New(mapVar[l.Var()], l.Sign())
+			}
+			f.AddClause(lits)
+		}
+		next := make([]lit.Var, nL)
+		for i, nv := range enc.NextStateVars {
+			next[i] = mapVar[nv]
+		}
+		frameState = append(frameState, next)
+		cur = next
+	}
+
+	// "Some frame's state is in the target": one activator per frame,
+	// cube selectors beneath each.
+	if target.Len() == 0 {
+		f.AddClause(cnf.Clause{})
+	} else {
+		var hit []lit.Lit
+		for _, st := range frameState {
+			u := f.NewVar()
+			hit = append(hit, lit.Pos(u))
+			var any []lit.Lit
+			any = append(any, lit.Neg(u))
+			for _, cb := range target.Cubes() {
+				sel := f.NewVar()
+				any = append(any, lit.Pos(sel))
+				for pos, t := range cb {
+					if t == lit.Unknown {
+						continue
+					}
+					f.Add(lit.Neg(sel), lit.New(st[pos], t == lit.False))
+				}
+			}
+			f.AddClause(any)
+		}
+		f.AddClause(hit)
+	}
+
+	stateSpace := StateSpace(c)
+	names := make([]string, nL)
+	for i := range names {
+		names[i] = stateSpace.Name(i)
+	}
+	projSpace := cube.NewNamedSpace(state0, names)
+
+	var res *allsat.Result
+	switch opts.Engine {
+	case EngineSuccessDriven:
+		co := opts.Core
+		if co == (core.Options{}) {
+			co = core.DefaultOptions()
+		}
+		res = core.EnumerateToResult(f, projSpace, co)
+	case EngineBlocking:
+		res = allsat.EnumerateBlocking(f, projSpace, opts.AllSAT)
+	case EngineLifting:
+		res = allsat.EnumerateLifting(f, projSpace, opts.AllSAT)
+	default:
+		return nil, fmt.Errorf("preimage: unknown engine %v", opts.Engine)
+	}
+
+	states := canonicalize(stateSpace, res.Cover)
+	states.Reduce()
+	out := &Result{
+		States:     states,
+		StateSpace: stateSpace,
+		Stats:      res.Stats,
+		BDDNodes:   res.Stats.BDDNodes,
+		Engine:     opts.Engine,
+		Aborted:    res.Aborted,
+	}
+	out.Count = countStates(states)
+	return out, nil
+}

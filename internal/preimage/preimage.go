@@ -1,0 +1,370 @@
+// Package preimage computes preimages of state sets of sequential
+// circuits — the set of present states (optionally with input witnesses)
+// from which one transition reaches a given target set — and iterates them
+// into full backward reachability.
+//
+// Four interchangeable engines are provided:
+//
+//   - EngineSuccessDriven (default): the paper's all-solutions SAT
+//     enumerator (internal/core), returning the preimage directly as an
+//     ROBDD-backed cube cover.
+//   - EngineBlocking: classical all-SAT with full-minterm blocking
+//     clauses (the paper's SAT baseline).
+//   - EngineLifting: all-SAT with greedily lifted (shortened) blocking
+//     clauses.
+//   - EngineBDD: symbolic relational product with partitioned transition
+//     relations and early quantification (the paper's BDD baseline).
+//
+// All engines return covers over the canonical state space (position k =
+// latch k in declaration order), so results are directly comparable.
+package preimage
+
+import (
+	"fmt"
+	"math/big"
+	"sync"
+
+	"allsatpre/internal/allsat"
+	"allsatpre/internal/bdd"
+	"allsatpre/internal/circuit"
+	"allsatpre/internal/cnf"
+	"allsatpre/internal/core"
+	"allsatpre/internal/cube"
+	"allsatpre/internal/lit"
+	"allsatpre/internal/trans"
+)
+
+// Engine selects the preimage computation strategy.
+type Engine int
+
+// Available engines.
+const (
+	EngineSuccessDriven Engine = iota
+	EngineBlocking
+	EngineLifting
+	EngineBDD
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineSuccessDriven:
+		return "success-driven"
+	case EngineBlocking:
+		return "blocking"
+	case EngineLifting:
+		return "lifting"
+	case EngineBDD:
+		return "bdd"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// Options configures a preimage computation.
+type Options struct {
+	// Engine selects the strategy (default EngineSuccessDriven).
+	Engine Engine
+	// WithInputs also reports the input assignments: the SAT engines then
+	// enumerate over (state, input) and InputsCover is populated.
+	WithInputs bool
+	// Core tunes the success-driven enumerator (zero value → defaults).
+	Core core.Options
+	// AllSAT tunes the blocking/lifting engines.
+	AllSAT allsat.Options
+	// StateFirstOrder controls the success-driven decision order /
+	// BDD variable order: true (default semantics when unset is
+	// state-first) decides state variables before inputs. Setting
+	// InputFirstOrder flips it — used by the decision-order ablation.
+	InputFirstOrder bool
+	// Interleave uses an s,x-interleaved order (ablation).
+	Interleave bool
+	// BDDSegregatedOrder makes the BDD engine place all present-state
+	// variables before all next-state variables instead of interleaving
+	// the (s_k, s'_k) pairs — the ordering ablation for Table 5.
+	BDDSegregatedOrder bool
+	// EliminateAux applies growth-free Davis–Putnam elimination to the
+	// auxiliary (non-projection) CNF variables before enumeration. The
+	// projection of the model set is preserved exactly, so all engines
+	// return identical covers with or without it.
+	EliminateAux bool
+	// Restrict, when non-nil, intersects the preimage with the given
+	// present-state cube (one position per latch): only predecessors
+	// inside the cube are enumerated. It is also the splitting mechanism
+	// behind Parallel.
+	Restrict cube.Cube
+	// Parallel, when > 1, splits the present-state space on the first
+	// ⌈log2 Parallel⌉ latches and computes the disjoint slices on that
+	// many goroutines (SAT engines only; the BDD engine ignores it).
+	Parallel int
+	// FrontierSimplify lets Reach pass each backward frontier through the
+	// Coudert–Madre generalized cofactor with the already-visited states
+	// as don't cares, trading frontier-cover size for possibly revisiting
+	// known states. The fixpoint and reported per-distance frontiers are
+	// unchanged; only the target handed to the next preimage differs.
+	FrontierSimplify bool
+}
+
+// Result is a preimage: the set of predecessor states.
+type Result struct {
+	// States is the preimage as a cube cover over StateSpace.
+	States *cube.Cover
+	// StateSpace is the canonical state space (vars 0..L-1, latch names).
+	StateSpace *cube.Space
+	// Count is the exact number of preimage states.
+	Count *big.Int
+	// Pairs, when Options.WithInputs was set on a SAT engine, is the
+	// cover over (state ++ input) of all witness pairs; nil otherwise.
+	Pairs *cube.Cover
+	// Stats carries search counters (SAT engines) or is zero (BDD).
+	Stats allsat.Stats
+	// BDDNodes is the peak node count of the engine's manager.
+	BDDNodes int
+	// Engine records which engine produced the result.
+	Engine Engine
+	// Aborted is true when a SAT engine hit its cube cap
+	// (Options.AllSAT.MaxCubes); States is then an under-approximation.
+	Aborted bool
+}
+
+// StateSpace builds the canonical state space of a circuit: position k is
+// latch k, variable ids are 0..L-1, names are the latch signal names.
+func StateSpace(c *circuit.Circuit) *cube.Space {
+	vars := make([]lit.Var, len(c.Latches))
+	names := make([]string, len(c.Latches))
+	for i, gi := range c.Latches {
+		vars[i] = lit.Var(i)
+		names[i] = c.Gates[gi].Name
+	}
+	return cube.NewNamedSpace(vars, names)
+}
+
+// canonicalize re-expresses a cover (position-aligned to the latch order)
+// over the canonical state space.
+func canonicalize(space *cube.Space, cv *cube.Cover) *cube.Cover {
+	out := cube.NewCover(space)
+	for _, c := range cv.Cubes() {
+		out.Add(c.Clone())
+	}
+	return out
+}
+
+// Compute returns the one-step preimage of the target set.
+func Compute(c *circuit.Circuit, target *cube.Cover, opts Options) (*Result, error) {
+	if opts.Engine == EngineBDD {
+		return computeBDD(c, target, opts)
+	}
+	if opts.Parallel > 1 && len(c.Latches) > 0 {
+		return computeParallel(c, target, opts)
+	}
+	return computeSAT(c, target, opts)
+}
+
+// computeParallel splits the present-state space into disjoint slices on
+// the leading latches and runs computeSAT per slice concurrently.
+func computeParallel(c *circuit.Circuit, target *cube.Cover, opts Options) (*Result, error) {
+	bits := 1
+	for 1<<bits < opts.Parallel && bits < len(c.Latches) && bits < 4 {
+		bits++
+	}
+	n := 1 << bits
+	stateSpace := StateSpace(c)
+	results := make([]*Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for slice := 0; slice < n; slice++ {
+		wg.Add(1)
+		go func(slice int) {
+			defer wg.Done()
+			sub := opts
+			sub.Parallel = 0
+			restrict := stateSpace.FullCube()
+			if opts.Restrict != nil {
+				copy(restrict, opts.Restrict)
+			}
+			for b := 0; b < bits; b++ {
+				want := lit.TernOf(slice&(1<<b) != 0)
+				if restrict[b] != lit.Unknown && restrict[b] != want {
+					// Slice contradicts the caller's restriction: empty.
+					results[slice] = &Result{
+						States:     cube.NewCover(stateSpace),
+						StateSpace: stateSpace,
+						Count:      new(big.Int),
+						Engine:     opts.Engine,
+					}
+					return
+				}
+				restrict[b] = want
+			}
+			sub.Restrict = restrict
+			results[slice], errs[slice] = computeSAT(c, target, sub)
+		}(slice)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Slices are disjoint: union covers, add counts, sum stats.
+	out := &Result{
+		States:     cube.NewCover(stateSpace),
+		StateSpace: stateSpace,
+		Count:      new(big.Int),
+		Engine:     opts.Engine,
+	}
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		for _, cb := range r.States.Cubes() {
+			out.States.Add(cb)
+		}
+		out.Count.Add(out.Count, r.Count)
+		accumulate(&out.Stats, r.Stats)
+		if r.BDDNodes > out.BDDNodes {
+			out.BDDNodes = r.BDDNodes
+		}
+		out.Aborted = out.Aborted || r.Aborted
+	}
+	out.States.Reduce()
+	return out, nil
+}
+
+// projectionOrder builds the decision/projection variable order for the
+// SAT engines from the instance according to the ablation options.
+func projectionOrder(inst *trans.Instance, opts Options) ([]lit.Var, []string) {
+	st, in := inst.StateVars, inst.InputVars
+	stateNames := make([]string, len(st))
+	for i := range st {
+		stateNames[i] = inst.StateSpace.Name(i)
+	}
+	inputNames := make([]string, len(in))
+	for i := range in {
+		inputNames[i] = inst.FullSpace.Name(len(st) + i)
+	}
+	var vars []lit.Var
+	var names []string
+	switch {
+	case opts.Interleave:
+		for i := 0; i < len(st) || i < len(in); i++ {
+			if i < len(st) {
+				vars = append(vars, st[i])
+				names = append(names, stateNames[i])
+			}
+			if i < len(in) {
+				vars = append(vars, in[i])
+				names = append(names, inputNames[i])
+			}
+		}
+	case opts.InputFirstOrder:
+		vars = append(append(vars, in...), st...)
+		names = append(append(names, inputNames...), stateNames...)
+	default:
+		vars = append(append(vars, st...), in...)
+		names = append(append(names, stateNames...), inputNames...)
+	}
+	return vars, names
+}
+
+func computeSAT(c *circuit.Circuit, target *cube.Cover, opts Options) (*Result, error) {
+	inst, err := trans.NewInstance(c, target)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Restrict != nil {
+		if len(opts.Restrict) != len(inst.StateVars) {
+			return nil, fmt.Errorf("preimage: Restrict has %d positions, circuit has %d latches",
+				len(opts.Restrict), len(inst.StateVars))
+		}
+		for pos, t := range opts.Restrict {
+			if t == lit.Unknown {
+				continue
+			}
+			inst.F.Add(lit.New(inst.StateVars[pos], t == lit.False))
+		}
+	}
+	projVars, projNames := projectionOrder(inst, opts)
+	projSpace := cube.NewNamedSpace(projVars, projNames)
+
+	if opts.EliminateAux {
+		isProj := make([]bool, inst.F.NumVars)
+		for _, v := range projVars {
+			isProj[v] = true
+		}
+		cnf.EliminateVars(inst.F, func(v lit.Var) bool { return !isProj[v] }, 0)
+	}
+
+	var res *allsat.Result
+	switch opts.Engine {
+	case EngineSuccessDriven:
+		co := opts.Core
+		if co == (core.Options{}) {
+			co = core.DefaultOptions()
+		}
+		res = core.EnumerateToResult(inst.F, projSpace, co)
+	case EngineBlocking:
+		res = allsat.EnumerateBlocking(inst.F, projSpace, opts.AllSAT)
+	case EngineLifting:
+		res = allsat.EnumerateLifting(inst.F, projSpace, opts.AllSAT)
+	default:
+		return nil, fmt.Errorf("preimage: unknown engine %v", opts.Engine)
+	}
+
+	stateSpace := StateSpace(c)
+	// Project the (ordered) projection cover onto the state positions.
+	posOfLatch := make([]int, len(inst.StateVars))
+	for i, v := range inst.StateVars {
+		posOfLatch[i] = projSpace.PosOf(v)
+	}
+	states := cube.NewCover(stateSpace)
+	for _, cb := range res.Cover.Cubes() {
+		sc := stateSpace.FullCube()
+		for i, pos := range posOfLatch {
+			sc[i] = cb[pos]
+		}
+		states.Add(sc)
+	}
+	states.Reduce()
+
+	out := &Result{
+		States:     states,
+		StateSpace: stateSpace,
+		Stats:      res.Stats,
+		BDDNodes:   res.Stats.BDDNodes,
+		Engine:     opts.Engine,
+		Aborted:    res.Aborted,
+	}
+	out.Count = countStates(states)
+	if opts.WithInputs {
+		// Re-express the projection cover over (state ++ input) order.
+		pairSpace := pairSpace(inst)
+		pairs := cube.NewCover(pairSpace)
+		fullVars := inst.FullSpace.Vars()
+		for _, cb := range res.Cover.Cubes() {
+			pc := pairSpace.FullCube()
+			for i, v := range fullVars {
+				pc[i] = cb[projSpace.PosOf(v)]
+			}
+			pairs.Add(pc)
+		}
+		out.Pairs = pairs
+	}
+	return out, nil
+}
+
+func pairSpace(inst *trans.Instance) *cube.Space {
+	n := inst.FullSpace.Size()
+	vars := make([]lit.Var, n)
+	names := make([]string, n)
+	for i := 0; i < n; i++ {
+		vars[i] = lit.Var(i)
+		names[i] = inst.FullSpace.Name(i)
+	}
+	return cube.NewNamedSpace(vars, names)
+}
+
+// countStates counts the minterms of a state cover exactly via a BDD.
+func countStates(cv *cube.Cover) *big.Int {
+	m := bdd.NewOrdered(cv.Space().Vars())
+	return m.SatCount(m.FromCover(cv))
+}

@@ -1,0 +1,105 @@
+package preimage
+
+import (
+	"math/big"
+
+	"allsatpre/internal/allsat"
+	"allsatpre/internal/bdd"
+	"allsatpre/internal/circuit"
+	"allsatpre/internal/cube"
+)
+
+// ReachResult is the outcome of iterated preimage computation (backward
+// reachability from a target set).
+type ReachResult struct {
+	// StateSpace is the canonical state space.
+	StateSpace *cube.Space
+	// Frontiers[k] is the set of states first reached at distance k from
+	// the target (Frontiers[0] is the target itself).
+	Frontiers []*cube.Cover
+	// FrontierCounts[k] is the exact state count of Frontiers[k].
+	FrontierCounts []*big.Int
+	// All is the union of every frontier: all states that can reach the
+	// target within the explored depth.
+	All *cube.Cover
+	// AllCount is the exact state count of All.
+	AllCount *big.Int
+	// Fixpoint is true when the iteration converged (the last preimage
+	// added no new states) before the step limit.
+	Fixpoint bool
+	// Steps is the number of preimage computations performed.
+	Steps int
+	// Stats accumulates the SAT engines' counters over all steps.
+	Stats allsat.Stats
+	// BDDNodes is the peak per-step engine node count observed.
+	BDDNodes int
+}
+
+// Reach iterates Compute backwards from the target until a fixpoint or
+// maxSteps preimage computations (maxSteps <= 0 means run to fixpoint).
+func Reach(c *circuit.Circuit, target *cube.Cover, maxSteps int, opts Options) (*ReachResult, error) {
+	stateSpace := StateSpace(c)
+	man := bdd.NewOrdered(stateSpace.Vars())
+
+	targetC := canonicalize(stateSpace, target)
+	visited := man.FromCover(targetC)
+	res := &ReachResult{
+		StateSpace:     stateSpace,
+		Frontiers:      []*cube.Cover{targetC},
+		FrontierCounts: []*big.Int{man.SatCount(visited)},
+	}
+	frontier := targetC
+
+	for step := 0; maxSteps <= 0 || step < maxSteps; step++ {
+		if frontier.Len() == 0 {
+			res.Fixpoint = true
+			break
+		}
+		pre, err := Compute(c, frontier, opts)
+		if err != nil {
+			return nil, err
+		}
+		res.Steps++
+		accumulate(&res.Stats, pre.Stats)
+		if pre.BDDNodes > res.BDDNodes {
+			res.BDDNodes = pre.BDDNodes
+		}
+		preSet := man.FromCover(pre.States)
+		newSet := man.Diff(preSet, visited)
+		if newSet == bdd.False {
+			res.Fixpoint = true
+			break
+		}
+		exact := man.ISOP(newSet, stateSpace)
+		if opts.FrontierSimplify {
+			// Any set between newSet and newSet ∪ visited is a valid next
+			// target; the generalized cofactor picks a compact one.
+			simp := man.SimplifyWith(newSet, man.Not(visited))
+			frontier = man.ISOP(simp, stateSpace)
+		} else {
+			frontier = exact
+		}
+		visited = man.Or(visited, newSet)
+		res.Frontiers = append(res.Frontiers, exact)
+		res.FrontierCounts = append(res.FrontierCounts, man.SatCount(newSet))
+	}
+	res.All = man.ISOP(visited, stateSpace)
+	res.AllCount = man.SatCount(visited)
+	return res, nil
+}
+
+func accumulate(dst *allsat.Stats, s allsat.Stats) {
+	dst.Solutions += s.Solutions
+	dst.Cubes += s.Cubes
+	dst.BlockingClauses += s.BlockingClauses
+	dst.BlockingLits += s.BlockingLits
+	dst.LiftedFree += s.LiftedFree
+	dst.Decisions += s.Decisions
+	dst.Propagations += s.Propagations
+	dst.Conflicts += s.Conflicts
+	dst.CacheLookups += s.CacheLookups
+	dst.CacheHits += s.CacheHits
+	if s.BDDNodes > dst.BDDNodes {
+		dst.BDDNodes = s.BDDNodes
+	}
+}

@@ -1,0 +1,119 @@
+package preimage
+
+import (
+	"testing"
+
+	"allsatpre/internal/circuit"
+	"allsatpre/internal/gen"
+	"allsatpre/internal/lit"
+	"allsatpre/internal/trans"
+)
+
+func TestWitnessIteratorFirstWitnessSimulates(t *testing.T) {
+	c := gen.Counter(5, true, false)
+	target := trans.TargetFromPatterns(5, "10110") // state 13
+	wi, err := NewWitnessIterator(c, target, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, _ := circuit.NewSimulator(c)
+	count := 0
+	for {
+		w, ok := wi.Next()
+		if !ok {
+			break
+		}
+		count++
+		// Complete free positions with zeros and simulate.
+		st := make([]bool, 5)
+		for i, tv := range w.State {
+			st[i] = tv == lit.True
+		}
+		in := make([]bool, 1)
+		for i, tv := range w.Inputs {
+			in[i] = tv == lit.True
+		}
+		_, next := sim.Step(st, in)
+		m := make([]bool, 5)
+		copy(m, next)
+		if !target.Contains(m) {
+			t.Fatalf("witness (%s, %s) does not land in the target", w.State, w.Inputs)
+		}
+	}
+	if count == 0 {
+		t.Fatal("no witnesses for a reachable target")
+	}
+	if wi.Stats().Solutions == 0 {
+		t.Fatal("stats missing")
+	}
+}
+
+func TestWitnessIteratorEarlyStop(t *testing.T) {
+	c := gen.SLike(gen.SLikeParams{Seed: 2, Inputs: 8, Latches: 8, Gates: 120})
+	// A broad target: full enumeration would take many iterations, but
+	// the first witness must come back immediately.
+	target := trans.TargetFromPatterns(8, "1XXXXXXX")
+	wi, err := NewWitnessIterator(c, target, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := wi.Next(); !ok {
+		t.Fatal("expected at least one witness")
+	}
+	if wi.Stats().Solutions != 1 {
+		t.Fatalf("one pull should cost one solve, got %d", wi.Stats().Solutions)
+	}
+}
+
+func TestWitnessIteratorWidthError(t *testing.T) {
+	c := gen.Counter(3, true, false)
+	if _, err := NewWitnessIterator(c, trans.TargetFromPatterns(2, "11"), Options{}); err == nil {
+		t.Fatal("expected width error")
+	}
+}
+
+func TestWitnessIteratorAgreesWithPreimage(t *testing.T) {
+	// The set of witness states must equal the preimage state set.
+	c := gen.TrafficLight()
+	target := trans.TargetFromPatterns(5, "010XX")
+	wi, err := NewWitnessIterator(c, target, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := map[int]bool{}
+	for {
+		w, ok := wi.Next()
+		if !ok {
+			break
+		}
+		// Expand free state bits.
+		n := len(w.State)
+		for x := 0; x < 1<<uint(n); x++ {
+			m := make([]bool, n)
+			okM := true
+			for i := 0; i < n; i++ {
+				m[i] = x&(1<<uint(i)) != 0
+				if w.State[i] != lit.Unknown && (w.State[i] == lit.True) != m[i] {
+					okM = false
+					break
+				}
+			}
+			if okM {
+				states[x] = true
+			}
+		}
+	}
+	pre, err := Compute(c, target, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := coverSet(t, pre.States)
+	if len(states) != len(want) {
+		t.Fatalf("witness states %d, preimage %d", len(states), len(want))
+	}
+	for x := range want {
+		if !states[x] {
+			t.Fatalf("missing witness state %b", x)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package sat
+
+import (
+	"allsatpre/internal/lit"
+)
+
+// analyze performs first-UIP conflict analysis starting from the
+// conflicting clause, returning the learnt clause (asserting literal first)
+// and the backtrack level. It also computes the clause's LBD.
+func (s *Solver) analyze(confl *clause) (learnt []lit.Lit, btLevel, lbd int) {
+	learnt = append(learnt, lit.UndefLit) // room for the asserting literal
+	pathC := 0
+	var p lit.Lit = lit.UndefLit
+	idx := len(s.trail) - 1
+
+	for {
+		if confl.learnt {
+			s.claBump(confl)
+		}
+		start := 0
+		if p.IsDef() {
+			start = 1 // skip the asserting literal of the reason
+		}
+		for _, q := range confl.lits[start:] {
+			v := q.Var()
+			if s.seen[v] != 0 || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = 1
+			s.varBump(v)
+			if s.level[v] >= s.decisionLevel() {
+				pathC++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// Select next literal on the trail to expand.
+		for s.seen[s.trail[idx].Var()] == 0 {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		s.seen[p.Var()] = 0
+		pathC--
+		if pathC <= 0 {
+			break
+		}
+		confl = s.reason[p.Var()]
+		if confl == nil {
+			panic("sat: analyze reached a decision before the UIP")
+		}
+	}
+	learnt[0] = p.Not()
+
+	// Clause minimization: delete literals implied by the rest.
+	s.analyzeToClr = append(s.analyzeToClr[:0], learnt...)
+	abstractLevels := uint32(0)
+	for _, q := range learnt[1:] {
+		abstractLevels |= s.abstractLevel(q.Var())
+	}
+	j := 1
+	for i := 1; i < len(learnt); i++ {
+		q := learnt[i]
+		if s.reason[q.Var()] == nil || !s.litRedundant(q, abstractLevels) {
+			learnt[j] = q
+			j++
+		} else {
+			s.stats.MinimizedOut++
+		}
+	}
+	learnt = learnt[:j]
+	// Clear seen flags set during analysis & minimization.
+	for _, q := range s.analyzeToClr {
+		s.seen[q.Var()] = 0
+	}
+
+	// Find backtrack level: the highest level among learnt[1:].
+	btLevel = 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		btLevel = s.level[learnt[1].Var()]
+	}
+
+	// LBD: number of distinct decision levels.
+	lbdSeen := map[int]bool{}
+	for _, q := range learnt {
+		lbdSeen[s.level[q.Var()]] = true
+	}
+	lbd = len(lbdSeen)
+	return learnt, btLevel, lbd
+}
+
+func (s *Solver) abstractLevel(v lit.Var) uint32 {
+	return 1 << uint(s.level[v]&31)
+}
+
+// litRedundant checks whether literal q is implied by the other literals of
+// the learnt clause (marked seen) through the implication graph; such
+// literals may be removed (recursive clause minimization).
+func (s *Solver) litRedundant(q lit.Lit, abstractLevels uint32) bool {
+	s.analyzeStack = s.analyzeStack[:0]
+	s.analyzeStack = append(s.analyzeStack, q)
+	top := len(s.analyzeToClr)
+	for len(s.analyzeStack) > 0 {
+		p := s.analyzeStack[len(s.analyzeStack)-1]
+		s.analyzeStack = s.analyzeStack[:len(s.analyzeStack)-1]
+		c := s.reason[p.Var()]
+		for _, l := range c.lits[1:] {
+			v := l.Var()
+			if s.seen[v] != 0 || s.level[v] == 0 {
+				continue
+			}
+			if s.reason[v] == nil || s.abstractLevel(v)&abstractLevels == 0 {
+				// Cannot be resolved away: q is not redundant. Undo marks.
+				for _, x := range s.analyzeToClr[top:] {
+					s.seen[x.Var()] = 0
+				}
+				s.analyzeToClr = s.analyzeToClr[:top]
+				return false
+			}
+			s.seen[v] = 1
+			s.analyzeStack = append(s.analyzeStack, l)
+			s.analyzeToClr = append(s.analyzeToClr, l)
+		}
+	}
+	return true
+}
+
+// analyzeFinal computes, after a conflict at an assumption level, the
+// subset of assumptions responsible. p is the failing assumption literal.
+func (s *Solver) analyzeFinal(p lit.Lit) {
+	s.conflictOut = s.conflictOut[:0]
+	s.conflictOut = append(s.conflictOut, p.Not())
+	if s.decisionLevel() == 0 {
+		return
+	}
+	s.seen[p.Var()] = 1
+	for i := len(s.trail) - 1; i >= s.trailLim[0]; i-- {
+		v := s.trail[i].Var()
+		if s.seen[v] == 0 {
+			continue
+		}
+		if s.reason[v] == nil {
+			if s.level[v] > 0 {
+				s.conflictOut = append(s.conflictOut, s.trail[i].Not())
+			}
+		} else {
+			for _, l := range s.reason[v].lits[1:] {
+				if s.level[l.Var()] > 0 {
+					s.seen[l.Var()] = 1
+				}
+			}
+		}
+		s.seen[v] = 0
+	}
+	s.seen[p.Var()] = 0
+}

@@ -1,0 +1,61 @@
+package sat
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"allsatpre/internal/cnf"
+	"allsatpre/internal/lit"
+)
+
+// BenchmarkSolvePigeonhole measures pure CDCL search on the classic
+// UNSAT family.
+func BenchmarkSolvePigeonhole(b *testing.B) {
+	for _, n := range []int{6, 7, 8} {
+		f := phpFormula(n+1, n)
+		b.Run(fmt.Sprintf("php%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s := FromFormula(f, DefaultOptions())
+				if st := s.Solve(); st != Unsat {
+					b.Fatal("expected UNSAT")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSolveRandom3SAT measures mixed SAT/UNSAT behaviour at the
+// phase-transition clause ratio.
+func BenchmarkSolveRandom3SAT(b *testing.B) {
+	for _, nVars := range []int{50, 100} {
+		rng := rand.New(rand.NewSource(int64(nVars)))
+		formulas := make([]*cnf.Formula, 16)
+		for i := range formulas {
+			formulas[i] = randomFormula(rng, nVars, int(4.26*float64(nVars)), 3)
+		}
+		b.Run(fmt.Sprintf("v%d", nVars), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s := FromFormula(formulas[i%len(formulas)], DefaultOptions())
+				s.Solve()
+			}
+		})
+	}
+}
+
+// BenchmarkIncrementalAssumptions measures assumption-based re-solving
+// of one instance under varying unit assumptions (the pattern the trace
+// extractor and BMC rely on).
+func BenchmarkIncrementalAssumptions(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	f := randomFormula(rng, 80, 280, 3)
+	s := FromFormula(f, DefaultOptions())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := lit.Var(i % 80)
+		s.Solve(lit.New(v, i%2 == 0))
+	}
+}

@@ -1,0 +1,54 @@
+package sat
+
+import (
+	"allsatpre/internal/lit"
+)
+
+// clause is the solver-internal clause representation. The first two
+// literals are the watched literals.
+type clause struct {
+	lits     []lit.Lit
+	activity float64
+	lbd      int  // literal block distance at learn time (learnt clauses)
+	learnt   bool // true for conflict-learned clauses
+	deleted  bool // lazily removed from watch lists
+}
+
+func (c *clause) len() int { return len(c.lits) }
+
+// watcher pairs a clause with a blocker literal: if the blocker is already
+// true the clause is satisfied and need not be inspected at all.
+type watcher struct {
+	cl      *clause
+	blocker lit.Lit
+}
+
+// Stats collects solver counters. All fields are cumulative across Solve
+// calls.
+type Stats struct {
+	Decisions    uint64
+	Propagations uint64
+	Conflicts    uint64
+	Restarts     uint64
+	Learned      uint64
+	LearnedLits  uint64
+	MinimizedOut uint64 // literals removed by clause minimization
+	Reduced      uint64 // learnt clauses deleted by DB reduction
+	MaxTrail     int
+}
+
+// luby computes the i-th element (1-based) of the Luby restart sequence.
+func luby(i uint64) uint64 {
+	// Find the subsequence that contains index i: size = 2^k - 1.
+	var size, seq uint64 = 1, 0
+	for size < i+1 {
+		seq++
+		size = 2*size + 1
+	}
+	for size-1 != i {
+		size = (size - 1) / 2
+		seq--
+		i = i % size
+	}
+	return uint64(1) << seq
+}

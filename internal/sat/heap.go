@@ -1,0 +1,111 @@
+package sat
+
+import (
+	"allsatpre/internal/lit"
+)
+
+// varHeap is a binary max-heap of variables ordered by activity, with an
+// index map for decrease/increase-key. It is the VSIDS decision queue.
+type varHeap struct {
+	heap     []lit.Var // heap of variables
+	indices  []int     // var -> position in heap, -1 if absent
+	activity *[]float64
+}
+
+func newVarHeap(act *[]float64) *varHeap {
+	return &varHeap{activity: act}
+}
+
+func (h *varHeap) less(a, b lit.Var) bool {
+	return (*h.activity)[a] > (*h.activity)[b]
+}
+
+func (h *varHeap) grow(n int) {
+	for len(h.indices) < n {
+		h.indices = append(h.indices, -1)
+	}
+}
+
+func (h *varHeap) contains(v lit.Var) bool {
+	return int(v) < len(h.indices) && h.indices[v] >= 0
+}
+
+func (h *varHeap) empty() bool { return len(h.heap) == 0 }
+
+func (h *varHeap) percolateUp(i int) {
+	v := h.heap[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(v, h.heap[p]) {
+			break
+		}
+		h.heap[i] = h.heap[p]
+		h.indices[h.heap[i]] = i
+		i = p
+	}
+	h.heap[i] = v
+	h.indices[v] = i
+}
+
+func (h *varHeap) percolateDown(i int) {
+	v := h.heap[i]
+	n := len(h.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			break
+		}
+		c := l
+		if r < n && h.less(h.heap[r], h.heap[l]) {
+			c = r
+		}
+		if !h.less(h.heap[c], v) {
+			break
+		}
+		h.heap[i] = h.heap[c]
+		h.indices[h.heap[i]] = i
+		i = c
+	}
+	h.heap[i] = v
+	h.indices[v] = i
+}
+
+// insert adds v to the heap if not already present.
+func (h *varHeap) insert(v lit.Var) {
+	h.grow(int(v) + 1)
+	if h.indices[v] >= 0 {
+		return
+	}
+	h.heap = append(h.heap, v)
+	h.indices[v] = len(h.heap) - 1
+	h.percolateUp(len(h.heap) - 1)
+}
+
+// removeMin pops the highest-activity variable.
+func (h *varHeap) removeMin() lit.Var {
+	v := h.heap[0]
+	last := h.heap[len(h.heap)-1]
+	h.heap = h.heap[:len(h.heap)-1]
+	h.indices[v] = -1
+	if len(h.heap) > 0 {
+		h.heap[0] = last
+		h.indices[last] = 0
+		h.percolateDown(0)
+	}
+	return v
+}
+
+// decrease re-heapifies after the activity of v increased (moves it up).
+func (h *varHeap) decrease(v lit.Var) {
+	if h.contains(v) {
+		h.percolateUp(h.indices[v])
+	}
+}
+
+// rebuild re-heapifies the whole heap (after a global rescale the relative
+// order is unchanged, so this is only needed when activities are reset).
+func (h *varHeap) rebuild() {
+	for i := len(h.heap)/2 - 1; i >= 0; i-- {
+		h.percolateDown(i)
+	}
+}

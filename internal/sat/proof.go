@@ -1,0 +1,285 @@
+package sat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"allsatpre/internal/cnf"
+	"allsatpre/internal/lit"
+)
+
+// Proof logging (DRUP): when Options.Proof is set, the solver emits every
+// learnt clause as an addition line and every clause removed by database
+// reduction as a deletion line, in DIMACS-like syntax:
+//
+//	1 -3 4 0        (addition)
+//	d 2 -5 0        (deletion)
+//
+// An UNSAT answer appends the empty clause "0". The resulting transcript
+// is checkable without trusting the solver via CheckDRUP, which verifies
+// that every added clause is RUP (reverse unit propagation) with respect
+// to the original formula plus previously added clauses.
+
+// proofLogger buffers and formats proof lines.
+type proofLogger struct {
+	w *bufio.Writer
+}
+
+func newProofLogger(w io.Writer) *proofLogger {
+	return &proofLogger{w: bufio.NewWriter(w)}
+}
+
+func (p *proofLogger) addClause(lits []lit.Lit) {
+	for _, l := range lits {
+		fmt.Fprintf(p.w, "%d ", l.Dimacs())
+	}
+	fmt.Fprintln(p.w, "0")
+}
+
+func (p *proofLogger) deleteClause(lits []lit.Lit) {
+	fmt.Fprint(p.w, "d ")
+	for _, l := range lits {
+		fmt.Fprintf(p.w, "%d ", l.Dimacs())
+	}
+	fmt.Fprintln(p.w, "0")
+}
+
+func (p *proofLogger) flush() {
+	p.w.Flush()
+}
+
+// SetProofWriter enables DRUP proof logging on the solver. Must be called
+// before any Solve; the proof covers all subsequent learning. Call
+// FlushProof before reading the transcript.
+func (s *Solver) SetProofWriter(w io.Writer) {
+	s.proof = newProofLogger(w)
+}
+
+// FlushProof flushes buffered proof lines to the underlying writer.
+func (s *Solver) FlushProof() {
+	if s.proof != nil {
+		s.proof.flush()
+	}
+}
+
+// proofStep is one parsed DRUP line.
+type proofStep struct {
+	del  bool
+	lits []lit.Lit
+}
+
+// parseDRUP reads a DRUP transcript.
+func parseDRUP(r io.Reader) ([]proofStep, error) {
+	var steps []proofStep
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		step := proofStep{}
+		if strings.HasPrefix(line, "d ") {
+			step.del = true
+			line = line[2:]
+		}
+		closed := false
+		for _, tok := range strings.Fields(line) {
+			d, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("drup line %d: bad literal %q", lineNo, tok)
+			}
+			if d == 0 {
+				closed = true
+				break
+			}
+			step.lits = append(step.lits, lit.FromDimacs(d))
+		}
+		if !closed {
+			return nil, fmt.Errorf("drup line %d: missing terminating 0", lineNo)
+		}
+		steps = append(steps, step)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return steps, nil
+}
+
+// CheckDRUP verifies a DRUP unsatisfiability proof for formula f: every
+// addition must be derivable by reverse unit propagation from the
+// original clauses plus the previously added (and not yet deleted)
+// clauses, and the transcript must contain (or imply) the empty clause.
+// It returns nil when the proof establishes UNSAT.
+//
+// The checker is a small, independent implementation: a counter-based
+// unit propagator over a multiset clause database — deliberately sharing
+// no code with the solver it audits.
+func CheckDRUP(f *cnf.Formula, proof io.Reader) error {
+	steps, err := parseDRUP(proof)
+	if err != nil {
+		return err
+	}
+	db := newRupDB(f.NumVars)
+	for _, c := range f.Clauses {
+		db.add(c)
+	}
+	provedEmpty := false
+	for i, st := range steps {
+		if st.del {
+			if !db.remove(st.lits) {
+				return fmt.Errorf("drup step %d: deletion of a clause not in the database", i+1)
+			}
+			continue
+		}
+		if !db.rup(st.lits) {
+			return fmt.Errorf("drup step %d: clause %v is not RUP", i+1, st.lits)
+		}
+		if len(st.lits) == 0 {
+			provedEmpty = true
+			break
+		}
+		db.add(st.lits)
+	}
+	if !provedEmpty {
+		// Accept transcripts whose last RUP check already yields a
+		// top-level conflict: the empty clause must still be RUP now.
+		if !db.rup(nil) {
+			return fmt.Errorf("drup: proof does not derive the empty clause")
+		}
+	}
+	return nil
+}
+
+// rupDB is the checker's clause database with a simple assignment stack.
+type rupDB struct {
+	nVars   int
+	clauses []rupClause
+	// index by literal to clause positions (kept as a multiset; removal
+	// tombstones).
+	occ map[lit.Lit][]int
+}
+
+type rupClause struct {
+	lits []lit.Lit
+	dead bool
+}
+
+func newRupDB(nVars int) *rupDB {
+	return &rupDB{nVars: nVars, occ: make(map[lit.Lit][]int)}
+}
+
+func key(ls []lit.Lit) string {
+	sorted := append([]lit.Lit(nil), ls...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	var sb strings.Builder
+	for _, l := range sorted {
+		fmt.Fprintf(&sb, "%d ", int(l))
+	}
+	return sb.String()
+}
+
+func (db *rupDB) add(ls []lit.Lit) {
+	ci := len(db.clauses)
+	db.clauses = append(db.clauses, rupClause{lits: append([]lit.Lit(nil), ls...)})
+	for _, l := range ls {
+		if int(l.Var()) >= db.nVars {
+			db.nVars = int(l.Var()) + 1
+		}
+		db.occ[l] = append(db.occ[l], ci)
+	}
+}
+
+// remove tombstones one clause with exactly the given literal multiset.
+func (db *rupDB) remove(ls []lit.Lit) bool {
+	want := key(ls)
+	// Scan candidates via the first literal (or all clauses for empty).
+	var cand []int
+	if len(ls) > 0 {
+		cand = db.occ[ls[0]]
+	} else {
+		for i := range db.clauses {
+			cand = append(cand, i)
+		}
+	}
+	for _, ci := range cand {
+		c := &db.clauses[ci]
+		if c.dead || len(c.lits) != len(ls) {
+			continue
+		}
+		if key(c.lits) == want {
+			c.dead = true
+			return true
+		}
+	}
+	return false
+}
+
+// rup reports whether asserting the negation of every literal of ls and
+// unit-propagating over the live database yields a conflict.
+func (db *rupDB) rup(ls []lit.Lit) bool {
+	assign := make([]lit.Tern, db.nVars)
+	setLit := func(l lit.Lit) bool { // false on conflict
+		v := l.Var()
+		want := lit.TernOf(!l.Sign())
+		if assign[v] == lit.Unknown {
+			assign[v] = want
+			return true
+		}
+		return assign[v] == want
+	}
+	for _, l := range ls {
+		if !setLit(l.Not()) {
+			return true // negated clause is itself contradictory
+		}
+	}
+	// Naive propagation to fixpoint over live clauses.
+	for {
+		progress := false
+		for ci := range db.clauses {
+			c := &db.clauses[ci]
+			if c.dead {
+				continue
+			}
+			unassigned := lit.UndefLit
+			nUnassigned := 0
+			satisfied := false
+			for _, l := range c.lits {
+				switch assign[l.Var()].XorSign(l.Sign()) {
+				case lit.True:
+					satisfied = true
+				case lit.Unknown:
+					nUnassigned++
+					unassigned = l
+				}
+				if satisfied {
+					break
+				}
+			}
+			if satisfied {
+				continue
+			}
+			switch nUnassigned {
+			case 0:
+				return true // conflict
+			case 1:
+				if !setLit(unassigned) {
+					return true
+				}
+				progress = true
+			}
+		}
+		if !progress {
+			return false
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package sat
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"allsatpre/internal/cnf"
+	"allsatpre/internal/lit"
+)
+
+func phpFormula(pigeons, holes int) *cnf.Formula {
+	f := cnf.New(pigeons * holes)
+	vr := func(p, h int) lit.Var { return lit.Var(p*holes + h) }
+	for p := 0; p < pigeons; p++ {
+		c := make(cnf.Clause, holes)
+		for h := 0; h < holes; h++ {
+			c[h] = lit.Pos(vr(p, h))
+		}
+		f.AddClause(c)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				f.Add(lit.Neg(vr(p1, h)), lit.Neg(vr(p2, h)))
+			}
+		}
+	}
+	return f
+}
+
+func TestDRUPProofPigeonhole(t *testing.T) {
+	for _, n := range []int{3, 4, 5} {
+		f := phpFormula(n+1, n)
+		var proof strings.Builder
+		s := FromFormula(f, DefaultOptions())
+		s.SetProofWriter(&proof)
+		if st := s.Solve(); st != Unsat {
+			t.Fatalf("PHP(%d,%d) should be UNSAT", n+1, n)
+		}
+		s.FlushProof()
+		if err := CheckDRUP(f, strings.NewReader(proof.String())); err != nil {
+			t.Fatalf("PHP(%d,%d) proof rejected: %v\n%s", n+1, n, err, proof.String())
+		}
+	}
+}
+
+func TestDRUPProofRandomUnsat(t *testing.T) {
+	rng := rand.New(rand.NewSource(717))
+	checked := 0
+	for iter := 0; iter < 200 && checked < 40; iter++ {
+		nVars := 5 + rng.Intn(8)
+		f := randomFormula(rng, nVars, 6*nVars, 3)
+		if f.CountModels() != 0 {
+			continue
+		}
+		checked++
+		var proof strings.Builder
+		s := FromFormula(f, DefaultOptions())
+		s.SetProofWriter(&proof)
+		if st := s.Solve(); st != Unsat {
+			t.Fatalf("iter %d: expected UNSAT", iter)
+		}
+		s.FlushProof()
+		if err := CheckDRUP(f, strings.NewReader(proof.String())); err != nil {
+			t.Fatalf("iter %d: proof rejected: %v", iter, err)
+		}
+	}
+	if checked < 10 {
+		t.Fatalf("only %d UNSAT instances generated", checked)
+	}
+}
+
+func TestDRUPProofWithReduceDB(t *testing.T) {
+	// Aggressive clause deletion must still give a checkable proof with
+	// deletion lines.
+	opts := DefaultOptions()
+	opts.LearntFactor = 0.01
+	f := phpFormula(7, 6)
+	var proof strings.Builder
+	s := FromFormula(f, opts)
+	s.SetProofWriter(&proof)
+	if st := s.Solve(); st != Unsat {
+		t.Fatal("expected UNSAT")
+	}
+	s.FlushProof()
+	text := proof.String()
+	if !strings.Contains(text, "d ") {
+		t.Log("note: no deletions occurred in this run")
+	}
+	if err := CheckDRUP(f, strings.NewReader(text)); err != nil {
+		t.Fatalf("proof rejected: %v", err)
+	}
+}
+
+func TestDRUPTopLevelConflictFromAddClause(t *testing.T) {
+	s := NewDefault()
+	var proof strings.Builder
+	s.SetProofWriter(&proof)
+	v := s.NewVar()
+	s.AddClause(lit.Pos(v))
+	s.AddClause(lit.Neg(v))
+	s.FlushProof()
+	f := cnf.New(1)
+	f.Add(lit.Pos(0))
+	f.Add(lit.Neg(0))
+	if err := CheckDRUP(f, strings.NewReader(proof.String())); err != nil {
+		t.Fatalf("proof rejected: %v", err)
+	}
+}
+
+func TestCheckDRUPRejectsBogusProofs(t *testing.T) {
+	// A SAT formula cannot have a valid UNSAT proof.
+	f := cnf.New(2)
+	f.Add(lit.Pos(0), lit.Pos(1))
+	if err := CheckDRUP(f, strings.NewReader("0\n")); err == nil {
+		t.Fatal("empty clause over a SAT formula must be rejected")
+	}
+	// Non-RUP addition.
+	if err := CheckDRUP(f, strings.NewReader("1 0\n")); err == nil {
+		t.Fatal("non-RUP clause must be rejected")
+	}
+	// Deletion of a clause not present.
+	if err := CheckDRUP(f, strings.NewReader("d 1 0\n0\n")); err == nil {
+		t.Fatal("bogus deletion must be rejected")
+	}
+	// Missing empty clause at the end of a non-proof.
+	g := cnf.New(1)
+	g.Add(lit.Pos(0))
+	if err := CheckDRUP(g, strings.NewReader("")); err == nil {
+		t.Fatal("proof without empty clause over a SAT formula must be rejected")
+	}
+	// Malformed transcripts.
+	for _, bad := range []string{"1 2\n", "x 0\n"} {
+		if err := CheckDRUP(f, strings.NewReader(bad)); err == nil {
+			t.Fatalf("malformed transcript %q accepted", bad)
+		}
+	}
+}
+
+func TestCheckDRUPAcceptsImplicitEmptyClause(t *testing.T) {
+	// If the added clauses make the formula propagate to a conflict, the
+	// final explicit "0" may be omitted. Formula: (x1)(¬x1∨x2)(¬x2) is
+	// UNSAT; the clause ¬x1 is RUP (assume x1, propagate x2, conflict)
+	// and once added, propagation alone reaches the conflict.
+	f := cnf.New(2)
+	f.Add(lit.Pos(0))
+	f.Add(lit.Neg(0), lit.Pos(1))
+	f.Add(lit.Neg(1))
+	if err := CheckDRUP(f, strings.NewReader("-1 0\n")); err != nil {
+		t.Fatalf("implicit empty clause rejected: %v", err)
+	}
+}
+
+func TestDRUPCommentsIgnored(t *testing.T) {
+	f := cnf.New(1)
+	f.Add(lit.Pos(0))
+	f.Add(lit.Neg(0))
+	if err := CheckDRUP(f, strings.NewReader("c produced by test\n0\n")); err != nil {
+		t.Fatalf("comment line broke the checker: %v", err)
+	}
+}

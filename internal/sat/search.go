@@ -1,0 +1,213 @@
+package sat
+
+import (
+	"sort"
+
+	"allsatpre/internal/lit"
+)
+
+// Solve determines satisfiability of the current clause set under the given
+// assumption literals. On Sat, Model reports the assignment; on Unsat under
+// assumptions, Conflict reports a sufficient subset of failed assumptions.
+// Unknown is returned only when Options.MaxConflicts is exceeded.
+func (s *Solver) Solve(assumptions ...lit.Lit) Status {
+	s.cancelUntil(0)
+	s.conflictOut = s.conflictOut[:0]
+	if !s.okay {
+		return Unsat
+	}
+	for _, a := range assumptions {
+		if int(a.Var()) >= len(s.assign) {
+			s.EnsureVars(int(a.Var()) + 1)
+		}
+	}
+	s.assumptions = assumptions
+
+	s.maxLearnts = float64(len(s.clauses)) * s.opts.LearntFactor
+	if s.maxLearnts < 100 {
+		s.maxLearnts = 100
+	}
+
+	var curRestart uint64 = 1
+	conflictsAtStart := s.stats.Conflicts
+	for {
+		budget := s.opts.RestartBase * luby(curRestart)
+		st := s.search(budget, conflictsAtStart)
+		if st != Unknown {
+			if st == Sat {
+				// Snapshot the model before backtracking erases it.
+				s.model = s.model[:0]
+				for _, t := range s.assign {
+					s.model = append(s.model, t == lit.True)
+				}
+			}
+			s.cancelUntil(0)
+			return st
+		}
+		if s.opts.MaxConflicts > 0 && s.stats.Conflicts-conflictsAtStart >= s.opts.MaxConflicts {
+			s.cancelUntil(0)
+			return Unknown
+		}
+		curRestart++
+		s.stats.Restarts++
+	}
+}
+
+// search runs CDCL until a result, a restart budget of nConflicts, or the
+// global conflict budget is exhausted (returning Unknown in both cases).
+func (s *Solver) search(nConflicts, conflictsAtStart uint64) Status {
+	var conflictsHere uint64
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.stats.Conflicts++
+			conflictsHere++
+			if s.decisionLevel() == 0 {
+				s.okay = false
+				if s.proof != nil {
+					s.proof.addClause(nil)
+				}
+				return Unsat
+			}
+			learnt, btLevel, lbd := s.analyze(confl)
+			if s.proof != nil {
+				s.proof.addClause(learnt)
+			}
+			s.cancelUntil(btLevel)
+			if len(learnt) == 1 {
+				s.uncheckedEnqueue(learnt[0], nil)
+			} else {
+				cl := &clause{lits: learnt, learnt: true, lbd: lbd}
+				s.learnts = append(s.learnts, cl)
+				s.attach(cl)
+				s.claBump(cl)
+				s.uncheckedEnqueue(learnt[0], cl)
+			}
+			s.stats.Learned++
+			s.stats.LearnedLits += uint64(len(learnt))
+			s.varDecay()
+			s.claDecay()
+			continue
+		}
+
+		// No conflict.
+		if conflictsHere >= nConflicts {
+			s.cancelUntil(s.baseLevel())
+			return Unknown // restart
+		}
+		if s.opts.MaxConflicts > 0 && s.stats.Conflicts-conflictsAtStart >= s.opts.MaxConflicts {
+			return Unknown
+		}
+		if float64(len(s.learnts)) >= s.maxLearnts+float64(len(s.trail)) {
+			s.reduceDB()
+		}
+
+		// Establish assumptions as the first decisions.
+		next := lit.UndefLit
+		for s.decisionLevel() < len(s.assumptions) {
+			p := s.assumptions[s.decisionLevel()]
+			switch s.LitValue(p) {
+			case lit.True:
+				s.newDecisionLevel() // dummy level for satisfied assumption
+			case lit.False:
+				s.analyzeFinal(p)
+				return Unsat
+			default:
+				next = p
+			}
+			if next.IsDef() {
+				break
+			}
+		}
+		if !next.IsDef() {
+			next = s.pickBranchLit()
+			if !next.IsDef() {
+				return Sat // all variables assigned
+			}
+			s.stats.Decisions++
+		}
+		s.newDecisionLevel()
+		s.uncheckedEnqueue(next, nil)
+	}
+}
+
+// baseLevel is the decision level below which restarts must not backtrack
+// (the assumption levels).
+func (s *Solver) baseLevel() int {
+	if len(s.assumptions) < s.decisionLevel() {
+		return len(s.assumptions)
+	}
+	return s.decisionLevel()
+}
+
+// reduceDB removes roughly half of the learnt clauses, preferring low
+// activity and high LBD; binary clauses, LBD≤2 clauses, and clauses that
+// are the reason for a current assignment are kept.
+func (s *Solver) reduceDB() {
+	ls := s.learnts
+	sort.Slice(ls, func(i, j int) bool {
+		a, b := ls[i], ls[j]
+		if (a.lbd <= 2) != (b.lbd <= 2) {
+			return b.lbd <= 2 // glue clauses last (kept)
+		}
+		return a.activity < b.activity
+	})
+	locked := func(c *clause) bool {
+		v := c.lits[0].Var()
+		return s.assign[v] != lit.Unknown && s.reason[v] == c
+	}
+	limit := len(ls) / 2
+	kept := ls[:0]
+	for i, c := range ls {
+		if i < limit && c.len() > 2 && c.lbd > 2 && !locked(c) {
+			c.deleted = true
+			s.stats.Reduced++
+			if s.proof != nil {
+				s.proof.deleteClause(c.lits)
+			}
+			continue
+		}
+		kept = append(kept, c)
+	}
+	s.learnts = kept
+	s.maxLearnts *= s.opts.LearntGrowth
+}
+
+// Simplify removes problem and learnt clauses satisfied at level 0. Must be
+// called at decision level 0.
+func (s *Solver) Simplify() bool {
+	if s.decisionLevel() != 0 {
+		panic("sat: Simplify above level 0")
+	}
+	if !s.okay {
+		return false
+	}
+	if s.propagate() != nil {
+		s.okay = false
+		return false
+	}
+	filter := func(cs []*clause) []*clause {
+		out := cs[:0]
+		for _, c := range cs {
+			sat := false
+			for _, l := range c.lits {
+				if s.LitValue(l) == lit.True && s.level[l.Var()] == 0 {
+					sat = true
+					break
+				}
+			}
+			if sat {
+				c.deleted = true
+				if s.proof != nil {
+					s.proof.deleteClause(c.lits)
+				}
+				continue
+			}
+			out = append(out, c)
+		}
+		return out
+	}
+	s.clauses = filter(s.clauses)
+	s.learnts = filter(s.learnts)
+	return true
+}

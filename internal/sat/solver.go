@@ -1,0 +1,448 @@
+// Package sat implements a conflict-driven clause-learning (CDCL) SAT
+// solver in the MiniSat lineage: two-watched-literal propagation, first-UIP
+// conflict analysis with recursive clause minimization, VSIDS decision
+// ordering with phase saving, Luby restarts, and activity-based learnt
+// clause database reduction. The solver is incremental: clauses may be
+// added between Solve calls, and Solve accepts assumption literals.
+//
+// It is the workhorse beneath the all-solutions enumeration engines in
+// internal/allsat and the blocking-clause preimage baseline.
+package sat
+
+import (
+	"fmt"
+	"math/rand"
+
+	"allsatpre/internal/cnf"
+	"allsatpre/internal/lit"
+)
+
+// Status is the outcome of a Solve call.
+type Status int
+
+// Solve outcomes.
+const (
+	Unknown Status = iota // budget exhausted before an answer
+	Sat
+	Unsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "SAT"
+	case Unsat:
+		return "UNSAT"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Options tune the solver. The zero value is replaced by DefaultOptions.
+type Options struct {
+	// VarDecay is the VSIDS activity decay factor (0 < VarDecay < 1).
+	VarDecay float64
+	// ClauseDecay is the learnt-clause activity decay factor.
+	ClauseDecay float64
+	// RestartBase is the Luby restart unit in conflicts.
+	RestartBase uint64
+	// LearntFactor sets the initial learnt DB cap as a fraction of the
+	// number of problem clauses.
+	LearntFactor float64
+	// LearntGrowth multiplies the learnt DB cap at each reduction.
+	LearntGrowth float64
+	// PhaseSaving enables progress-saving polarity selection.
+	PhaseSaving bool
+	// RandomFreq is the probability of a random decision (0 disables).
+	RandomFreq float64
+	// Seed seeds the random decision source.
+	Seed int64
+	// MaxConflicts bounds a single Solve call; 0 means unbounded. When
+	// exceeded, Solve returns Unknown.
+	MaxConflicts uint64
+}
+
+// DefaultOptions returns the standard tuning.
+func DefaultOptions() Options {
+	return Options{
+		VarDecay:     0.95,
+		ClauseDecay:  0.999,
+		RestartBase:  100,
+		LearntFactor: 1.0 / 3.0,
+		LearntGrowth: 1.1,
+		PhaseSaving:  true,
+		RandomFreq:   0.0,
+		Seed:         91648253,
+	}
+}
+
+// Solver is an incremental CDCL SAT solver.
+type Solver struct {
+	opts Options
+
+	clauses []*clause // problem clauses
+	learnts []*clause
+
+	watches [][]watcher // indexed by literal
+
+	assign   []lit.Tern // by var
+	level    []int      // decision level of assignment, by var
+	reason   []*clause  // antecedent clause, by var (nil for decisions)
+	polarity []bool     // saved phase: true = last value was false (sign)
+	activity []float64
+	seen     []byte // scratch for analyze
+
+	trail    []lit.Lit
+	trailLim []int // trail index at each decision level
+	qhead    int
+
+	order  *varHeap
+	varInc float64
+	claInc float64
+
+	okay        bool // false once a top-level conflict is found
+	rng         *rand.Rand
+	maxLearnts  float64
+	assumptions []lit.Lit
+	conflictOut []lit.Lit // final conflict over assumptions
+	model       []bool    // snapshot of the last satisfying assignment
+	proof       *proofLogger
+
+	// analyze scratch
+	analyzeStack []lit.Lit
+	analyzeToClr []lit.Lit
+
+	stats Stats
+}
+
+// New creates a solver with the given options (zero value → defaults).
+func New(opts Options) *Solver {
+	if opts.VarDecay == 0 {
+		opts = DefaultOptions()
+	}
+	s := &Solver{
+		opts:   opts,
+		varInc: 1.0,
+		claInc: 1.0,
+		okay:   true,
+		rng:    rand.New(rand.NewSource(opts.Seed)),
+	}
+	s.order = newVarHeap(&s.activity)
+	return s
+}
+
+// NewDefault creates a solver with DefaultOptions.
+func NewDefault() *Solver { return New(DefaultOptions()) }
+
+// FromFormula creates a solver preloaded with the clauses of f.
+func FromFormula(f *cnf.Formula, opts Options) *Solver {
+	s := New(opts)
+	s.EnsureVars(f.NumVars)
+	for _, c := range f.Clauses {
+		s.AddClause(c...)
+	}
+	return s
+}
+
+// NumVars returns the number of variables known to the solver.
+func (s *Solver) NumVars() int { return len(s.assign) }
+
+// NumClauses returns the number of problem clauses currently held.
+func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+// NumLearnts returns the number of learnt clauses currently held.
+func (s *Solver) NumLearnts() int { return len(s.learnts) }
+
+// Stats returns a copy of the cumulative statistics.
+func (s *Solver) Stats() Stats { return s.stats }
+
+// Okay reports whether the clause set is still possibly satisfiable; it
+// becomes false permanently after a top-level conflict.
+func (s *Solver) Okay() bool { return s.okay }
+
+// NewVar allocates a fresh variable.
+func (s *Solver) NewVar() lit.Var {
+	v := lit.Var(len(s.assign))
+	s.assign = append(s.assign, lit.Unknown)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.polarity = append(s.polarity, true) // default phase: false
+	s.activity = append(s.activity, 0)
+	s.seen = append(s.seen, 0)
+	s.watches = append(s.watches, nil, nil)
+	s.order.insert(v)
+	return v
+}
+
+// EnsureVars allocates variables until at least n exist.
+func (s *Solver) EnsureVars(n int) {
+	for len(s.assign) < n {
+		s.NewVar()
+	}
+}
+
+// Value returns the current ternary value of variable v.
+func (s *Solver) Value(v lit.Var) lit.Tern {
+	if int(v) >= len(s.assign) {
+		return lit.Unknown
+	}
+	return s.assign[v]
+}
+
+// LitValue returns the current ternary value of literal l.
+func (s *Solver) LitValue(l lit.Lit) lit.Tern {
+	return s.Value(l.Var()).XorSign(l.Sign())
+}
+
+// Model returns the satisfying assignment found by the most recent Sat
+// answer, indexed by variable. Variables with no forced value read as
+// false. The returned slice is a copy.
+func (s *Solver) Model() []bool {
+	m := make([]bool, len(s.model))
+	copy(m, s.model)
+	return m
+}
+
+// Conflict returns, after an Unsat answer under assumptions, a subset of
+// the negated assumptions that is sufficient for unsatisfiability.
+func (s *Solver) Conflict() []lit.Lit {
+	out := make([]lit.Lit, len(s.conflictOut))
+	copy(out, s.conflictOut)
+	return out
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+// AddClause adds a problem clause. It returns false if the clause set is
+// now known unsatisfiable at the top level. Must be called at decision
+// level 0 (Solve restores level 0 before returning).
+func (s *Solver) AddClause(ls ...lit.Lit) bool {
+	if !s.okay {
+		return false
+	}
+	if s.decisionLevel() != 0 {
+		panic("sat: AddClause called above decision level 0")
+	}
+	// Normalize: sort-free dedup & tautology check, drop false lits,
+	// detect satisfied clauses.
+	c := make([]lit.Lit, 0, len(ls))
+	for _, l := range ls {
+		if !l.IsDef() {
+			panic("sat: undefined literal in clause")
+		}
+		if int(l.Var()) >= len(s.assign) {
+			s.EnsureVars(int(l.Var()) + 1)
+		}
+		switch s.LitValue(l) {
+		case lit.True:
+			return true // already satisfied at top level
+		case lit.False:
+			continue // literal permanently false: drop
+		}
+		dup := false
+		for _, x := range c {
+			if x == l {
+				dup = true
+				break
+			}
+			if x == l.Not() {
+				return true // tautology
+			}
+		}
+		if !dup {
+			c = append(c, l)
+		}
+	}
+	switch len(c) {
+	case 0:
+		s.okay = false
+		if s.proof != nil {
+			s.proof.addClause(nil)
+		}
+		return false
+	case 1:
+		s.uncheckedEnqueue(c[0], nil)
+		if s.propagate() != nil {
+			s.okay = false
+			if s.proof != nil {
+				s.proof.addClause(nil)
+			}
+			return false
+		}
+		return true
+	}
+	cl := &clause{lits: c}
+	s.clauses = append(s.clauses, cl)
+	s.attach(cl)
+	return true
+}
+
+// AddFormula adds every clause of f; returns false on top-level conflict.
+func (s *Solver) AddFormula(f *cnf.Formula) bool {
+	s.EnsureVars(f.NumVars)
+	for _, c := range f.Clauses {
+		if !s.AddClause(c...) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Solver) attach(c *clause) {
+	w0, w1 := c.lits[0].Not(), c.lits[1].Not()
+	s.watches[w0] = append(s.watches[w0], watcher{cl: c, blocker: c.lits[1]})
+	s.watches[w1] = append(s.watches[w1], watcher{cl: c, blocker: c.lits[0]})
+}
+
+// uncheckedEnqueue assigns literal l true with the given reason clause.
+func (s *Solver) uncheckedEnqueue(l lit.Lit, from *clause) {
+	v := l.Var()
+	s.assign[v] = lit.TernOf(!l.Sign())
+	s.level[v] = s.decisionLevel()
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+	if len(s.trail) > s.stats.MaxTrail {
+		s.stats.MaxTrail = len(s.trail)
+	}
+}
+
+// propagate performs unit propagation over the watch lists, returning the
+// conflicting clause or nil.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead] // p is now true; clauses watching ¬p must be checked
+		s.qhead++
+		ws := s.watches[p]
+		out := ws[:0]
+		var confl *clause
+	watchLoop:
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			if w.cl.deleted {
+				continue // drop lazily
+			}
+			if s.LitValue(w.blocker) == lit.True {
+				out = append(out, w)
+				continue
+			}
+			c := w.cl
+			falseLit := p.Not()
+			// Ensure the false literal is at position 1.
+			if c.lits[0] == falseLit {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			first := c.lits[0]
+			if first != w.blocker && s.LitValue(first) == lit.True {
+				out = append(out, watcher{cl: c, blocker: first})
+				continue
+			}
+			// Look for a new literal to watch.
+			for k := 2; k < len(c.lits); k++ {
+				if s.LitValue(c.lits[k]) != lit.False {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					nw := c.lits[1].Not()
+					s.watches[nw] = append(s.watches[nw], watcher{cl: c, blocker: first})
+					continue watchLoop
+				}
+			}
+			// No new watch: clause is unit or conflicting.
+			out = append(out, watcher{cl: c, blocker: first})
+			if s.LitValue(first) == lit.False {
+				confl = c
+				s.qhead = len(s.trail)
+				// Copy remaining watchers back untouched.
+				for i++; i < len(ws); i++ {
+					if !ws[i].cl.deleted {
+						out = append(out, ws[i])
+					}
+				}
+				break
+			}
+			s.stats.Propagations++
+			s.uncheckedEnqueue(first, c)
+		}
+		s.watches[p] = out
+		if confl != nil {
+			return confl
+		}
+	}
+	return nil
+}
+
+// cancelUntil backtracks to the given decision level.
+func (s *Solver) cancelUntil(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	bound := s.trailLim[level]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		l := s.trail[i]
+		v := l.Var()
+		s.assign[v] = lit.Unknown
+		s.reason[v] = nil
+		if s.opts.PhaseSaving {
+			s.polarity[v] = l.Sign()
+		}
+		s.order.insert(v)
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:level]
+	s.qhead = len(s.trail)
+}
+
+func (s *Solver) newDecisionLevel() {
+	s.trailLim = append(s.trailLim, len(s.trail))
+}
+
+// varBump increases the VSIDS activity of v.
+func (s *Solver) varBump(v lit.Var) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.order.decrease(v)
+}
+
+func (s *Solver) varDecay() { s.varInc /= s.opts.VarDecay }
+
+func (s *Solver) claBump(c *clause) {
+	c.activity += s.claInc
+	if c.activity > 1e20 {
+		for _, lc := range s.learnts {
+			lc.activity *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+func (s *Solver) claDecay() { s.claInc /= s.opts.ClauseDecay }
+
+// pickBranchLit chooses the next decision literal, or UndefLit when all
+// variables are assigned.
+func (s *Solver) pickBranchLit() lit.Lit {
+	var v lit.Var = lit.UndefVar
+	if s.opts.RandomFreq > 0 && s.rng.Float64() < s.opts.RandomFreq && !s.order.empty() {
+		cand := s.order.heap[s.rng.Intn(len(s.order.heap))]
+		if s.assign[cand] == lit.Unknown {
+			v = cand
+		}
+	}
+	for v == lit.UndefVar {
+		if s.order.empty() {
+			return lit.UndefLit
+		}
+		cand := s.order.removeMin()
+		if s.assign[cand] == lit.Unknown {
+			v = cand
+		}
+	}
+	return lit.New(v, s.polarity[v])
+}
+
+func (s *Solver) String() string {
+	return fmt.Sprintf("sat.Solver(vars=%d clauses=%d learnts=%d)",
+		s.NumVars(), len(s.clauses), len(s.learnts))
+}

@@ -1,0 +1,196 @@
+// Package trans builds single-step preimage problem instances from
+// sequential circuits: the Tseitin CNF of the next-state logic conjoined
+// with a target-set constraint over the next-state variables, together
+// with the variable spaces (present state, primary input) the all-SAT
+// engines project onto.
+package trans
+
+import (
+	"fmt"
+
+	"allsatpre/internal/circuit"
+	"allsatpre/internal/cnf"
+	"allsatpre/internal/cube"
+	"allsatpre/internal/lit"
+	"allsatpre/internal/tseitin"
+)
+
+// Instance is a ready-to-enumerate preimage problem.
+//
+// The CNF F is satisfiable exactly by the consistent circuit valuations
+// (s, x, internals) whose next state lies in the target set. The preimage
+// is the projection of F's models onto StateVars (or onto StateVars ∪
+// InputVars when the input word is wanted too).
+type Instance struct {
+	// F is the constraint CNF.
+	F *cnf.Formula
+	// Enc is the underlying circuit encoding.
+	Enc *tseitin.Encoding
+	// StateVars, InputVars and NextVars are the projection variable
+	// groups, in latch/input declaration order.
+	StateVars, InputVars, NextVars []lit.Var
+	// StateSpace is the cube space over StateVars with latch names.
+	StateSpace *cube.Space
+	// FullSpace is the cube space over StateVars followed by InputVars.
+	FullSpace *cube.Space
+	// SelectorVars are the auxiliary cube-selector variables added for
+	// the target cover (one per target cube), for diagnostics.
+	SelectorVars []lit.Var
+}
+
+// NewInstance builds the preimage instance for the circuit and a target
+// cover over the state space (one position per latch, in declaration
+// order). The target constraint "next-state ∈ target" is encoded with one
+// selector variable per cube:
+//
+//	sel_i → (next-state literals of cube i),  sel_1 ∨ … ∨ sel_k
+//
+// An empty target cover yields an unsatisfiable instance (empty preimage).
+func NewInstance(c *circuit.Circuit, target *cube.Cover) (*Instance, error) {
+	enc, err := tseitin.Encode(c)
+	if err != nil {
+		return nil, err
+	}
+	if target.Space().Size() != len(c.Latches) {
+		return nil, fmt.Errorf("trans: target space has %d positions, circuit has %d latches",
+			target.Space().Size(), len(c.Latches))
+	}
+	f := enc.F.Clone()
+	inst := &Instance{
+		F:         f,
+		Enc:       enc,
+		StateVars: enc.StateVars,
+		InputVars: enc.InputVars,
+		NextVars:  enc.NextStateVars,
+	}
+
+	names := make([]string, len(c.Latches))
+	for i, gi := range c.Latches {
+		names[i] = c.Gates[gi].Name
+	}
+	inst.StateSpace = cube.NewNamedSpace(enc.StateVars, names)
+
+	fullVars := append(append([]lit.Var(nil), enc.StateVars...), enc.InputVars...)
+	fullNames := append([]string(nil), names...)
+	for _, gi := range c.Inputs {
+		fullNames = append(fullNames, c.Gates[gi].Name)
+	}
+	inst.FullSpace = cube.NewNamedSpace(fullVars, fullNames)
+
+	// Encode the target cover over the next-state variables.
+	if target.Len() == 0 {
+		f.Add() // empty clause: no next state is in the target
+		return inst, nil
+	}
+	var any []lit.Lit
+	for _, cb := range target.Cubes() {
+		sel := f.NewVar()
+		inst.SelectorVars = append(inst.SelectorVars, sel)
+		any = append(any, lit.Pos(sel))
+		for pos, t := range cb {
+			if t == lit.Unknown {
+				continue
+			}
+			f.Add(lit.Neg(sel), lit.New(enc.NextStateVars[pos], t == lit.False))
+		}
+	}
+	f.Add(any...)
+	return inst, nil
+}
+
+// NewImageInstance builds the forward-image problem for the circuit and
+// an initial-state cover: the CNF is satisfiable exactly by consistent
+// valuations whose present state lies in init, and the image is the
+// projection of its models onto NextVars.
+func NewImageInstance(c *circuit.Circuit, init *cube.Cover) (*Instance, error) {
+	enc, err := tseitin.Encode(c)
+	if err != nil {
+		return nil, err
+	}
+	if init.Space().Size() != len(c.Latches) {
+		return nil, fmt.Errorf("trans: init space has %d positions, circuit has %d latches",
+			init.Space().Size(), len(c.Latches))
+	}
+	f := enc.F.Clone()
+	inst := &Instance{
+		F:         f,
+		Enc:       enc,
+		StateVars: enc.StateVars,
+		InputVars: enc.InputVars,
+		NextVars:  enc.NextStateVars,
+	}
+	names := make([]string, len(c.Latches))
+	for i, gi := range c.Latches {
+		names[i] = c.Gates[gi].Name
+	}
+	inst.StateSpace = cube.NewNamedSpace(enc.StateVars, names)
+	fullVars := append(append([]lit.Var(nil), enc.StateVars...), enc.InputVars...)
+	fullNames := append([]string(nil), names...)
+	for _, gi := range c.Inputs {
+		fullNames = append(fullNames, c.Gates[gi].Name)
+	}
+	inst.FullSpace = cube.NewNamedSpace(fullVars, fullNames)
+
+	// Constrain the present state to the initial cover.
+	if init.Len() == 0 {
+		f.Add()
+		return inst, nil
+	}
+	var any []lit.Lit
+	for _, cb := range init.Cubes() {
+		sel := f.NewVar()
+		inst.SelectorVars = append(inst.SelectorVars, sel)
+		any = append(any, lit.Pos(sel))
+		for pos, t := range cb {
+			if t == lit.Unknown {
+				continue
+			}
+			f.Add(lit.Neg(sel), lit.New(enc.StateVars[pos], t == lit.False))
+		}
+	}
+	f.Add(any...)
+	return inst, nil
+}
+
+// TargetFromPatterns builds a cover over a fresh state-shaped space from
+// "01X" pattern strings (one position per latch).
+func TargetFromPatterns(nLatches int, patterns ...string) *cube.Cover {
+	vars := make([]lit.Var, nLatches)
+	for i := range vars {
+		vars[i] = lit.Var(i)
+	}
+	sp := cube.NewSpace(vars)
+	cv := cube.NewCover(sp)
+	for _, p := range patterns {
+		cv.Add(sp.CubeOf(p))
+	}
+	return cv
+}
+
+// RetargetCover rebuilds a cover (over any space of the right width) onto
+// the instance's state space, so a preimage result can feed the next
+// backward step as a target.
+func (in *Instance) RetargetCover(cv *cube.Cover) *cube.Cover {
+	out := cube.NewCover(in.StateSpace)
+	for _, c := range cv.Cubes() {
+		out.Add(c.Clone())
+	}
+	return out
+}
+
+// ProjectionVars returns the projection variable list: the state variables,
+// plus the input variables when withInputs is set.
+func (in *Instance) ProjectionVars(withInputs bool) []lit.Var {
+	if withInputs {
+		return in.FullSpace.Vars()
+	}
+	return in.StateVars
+}
+
+// ProjectionSpace returns the matching cube space for ProjectionVars.
+func (in *Instance) ProjectionSpace(withInputs bool) *cube.Space {
+	if withInputs {
+		return in.FullSpace
+	}
+	return in.StateSpace
+}

@@ -1,0 +1,130 @@
+// Package tseitin converts gate-level circuits into CNF via the Tseitin
+// transformation: one CNF variable per signal and a constant-size clause
+// set per gate, so the CNF is linear in circuit size and every satisfying
+// assignment corresponds exactly to a consistent signal valuation.
+package tseitin
+
+import (
+	"fmt"
+
+	"allsatpre/internal/circuit"
+	"allsatpre/internal/cnf"
+	"allsatpre/internal/lit"
+)
+
+// Encoding holds a circuit's CNF image together with the signal↔variable
+// correspondence.
+type Encoding struct {
+	// F is the CNF. Variables 0..NumVars-1 map one-to-one onto gates.
+	F *cnf.Formula
+	// VarOf maps gate index to CNF variable.
+	VarOf []lit.Var
+	// GateOf maps CNF variable to gate index.
+	GateOf []int
+	// InputVars are the CNF variables of the primary inputs, in circuit
+	// declaration order.
+	InputVars []lit.Var
+	// StateVars are the variables of the latch outputs (present state Q),
+	// in latch declaration order.
+	StateVars []lit.Var
+	// NextStateVars are the variables of the latch D signals (next state),
+	// in latch declaration order.
+	NextStateVars []lit.Var
+	// OutputVars are the variables of the primary outputs.
+	OutputVars []lit.Var
+
+	c *circuit.Circuit
+}
+
+// Circuit returns the encoded circuit.
+func (e *Encoding) Circuit() *circuit.Circuit { return e.c }
+
+// Encode builds the Tseitin CNF of the circuit's combinational logic.
+// Primary inputs and latch outputs (present-state variables) are
+// unconstrained; DFF gates themselves contribute no clauses — their D
+// fanin's variable is reported in NextStateVars.
+func Encode(c *circuit.Circuit) (*Encoding, error) {
+	if _, err := c.TopoOrder(); err != nil {
+		return nil, err
+	}
+	e := &Encoding{
+		F:      cnf.New(c.NumGates()),
+		VarOf:  make([]lit.Var, c.NumGates()),
+		GateOf: make([]int, c.NumGates()),
+		c:      c,
+	}
+	for i := range c.Gates {
+		e.VarOf[i] = lit.Var(i)
+		e.GateOf[i] = i
+	}
+	for i, g := range c.Gates {
+		z := lit.Pos(e.VarOf[i])
+		nz := z.Not()
+		fan := func(k int) lit.Lit { return lit.Pos(e.VarOf[g.Fanins[k]]) }
+		switch g.Type {
+		case circuit.Input, circuit.DFF:
+			// free variables
+		case circuit.Const0:
+			e.F.Add(nz)
+		case circuit.Const1:
+			e.F.Add(z)
+		case circuit.Buf:
+			a := fan(0)
+			e.F.Add(nz, a)
+			e.F.Add(z, a.Not())
+		case circuit.Not:
+			a := fan(0)
+			e.F.Add(nz, a.Not())
+			e.F.Add(z, a)
+		case circuit.And, circuit.Nand:
+			out, nout := z, nz
+			if g.Type == circuit.Nand {
+				out, nout = nz, z
+			}
+			big := make([]lit.Lit, 0, len(g.Fanins)+1)
+			big = append(big, out)
+			for k := range g.Fanins {
+				e.F.Add(nout, fan(k))
+				big = append(big, fan(k).Not())
+			}
+			e.F.Add(big...)
+		case circuit.Or, circuit.Nor:
+			out, nout := z, nz
+			if g.Type == circuit.Nor {
+				out, nout = nz, z
+			}
+			big := make([]lit.Lit, 0, len(g.Fanins)+1)
+			big = append(big, nout)
+			for k := range g.Fanins {
+				e.F.Add(out, fan(k).Not())
+				big = append(big, fan(k))
+			}
+			e.F.Add(big...)
+		case circuit.Xor, circuit.Xnor:
+			a, b := fan(0), fan(1)
+			out := z
+			if g.Type == circuit.Xnor {
+				out = nz
+			}
+			nout := out.Not()
+			// out ≡ a ⊕ b
+			e.F.Add(nout, a, b)
+			e.F.Add(nout, a.Not(), b.Not())
+			e.F.Add(out, a.Not(), b)
+			e.F.Add(out, a, b.Not())
+		default:
+			return nil, fmt.Errorf("tseitin: unsupported gate type %v", g.Type)
+		}
+	}
+	for _, i := range c.Inputs {
+		e.InputVars = append(e.InputVars, e.VarOf[i])
+	}
+	for _, i := range c.Latches {
+		e.StateVars = append(e.StateVars, e.VarOf[i])
+		e.NextStateVars = append(e.NextStateVars, e.VarOf[c.Gates[i].Fanins[0]])
+	}
+	for _, i := range c.Outputs {
+		e.OutputVars = append(e.OutputVars, e.VarOf[i])
+	}
+	return e, nil
+}
