@@ -34,6 +34,7 @@ import (
 	"allsatpre/internal/aig"
 	"allsatpre/internal/allsat"
 	"allsatpre/internal/bmc"
+	"allsatpre/internal/budget"
 	"allsatpre/internal/circuit"
 	"allsatpre/internal/cnf"
 	"allsatpre/internal/core"
@@ -41,6 +42,7 @@ import (
 	"allsatpre/internal/gen"
 	"allsatpre/internal/lit"
 	"allsatpre/internal/preimage"
+	"allsatpre/internal/stats"
 	"allsatpre/internal/trans"
 )
 
@@ -69,6 +71,40 @@ type (
 	Trace = preimage.Trace
 	// CheckResult is the outcome of a reachability query.
 	CheckResult = preimage.CheckResult
+	// Budget imposes resource limits (wall-clock deadline or timeout,
+	// context cancellation, conflict/decision/cube caps, BDD node cap) on
+	// any computation that accepts it via Options.Budget. The zero Budget
+	// is unbounded.
+	//
+	// The Aborted contract: when a budget trips, every entry point still
+	// returns a structured result — Result.Aborted, ReachResult.Aborted,
+	// CheckResult.Aborted, or BMCResult.Aborted is set, the matching
+	// AbortReason reports which limit tripped, and the partial answer is
+	// sound (an under-approximation for preimage/image/reach covers; for
+	// CheckReachable a REACHABLE verdict is still trusted, but no
+	// unreachability proof is claimed). Truncation is never silent and
+	// never an error.
+	Budget = budget.Budget
+	// AbortReason identifies which resource limit ended a computation.
+	AbortReason = budget.Reason
+	// StatsRegistry is a hierarchical counter registry; pass one in
+	// Options.Stats to observe a run (snapshot as text/JSON, or serve it
+	// over HTTP while the computation is in flight).
+	StatsRegistry = stats.Registry
+)
+
+// NewStatsRegistry creates a named stats registry for Options.Stats.
+func NewStatsRegistry(name string) *StatsRegistry { return stats.NewRegistry(name) }
+
+// Abort reasons reported by AbortReason fields.
+const (
+	AbortNone      = budget.None      // not aborted
+	AbortCancelled = budget.Cancelled // Budget.Ctx cancelled
+	AbortDeadline  = budget.Deadline  // deadline or timeout expired
+	AbortConflicts = budget.Conflicts // conflict cap exhausted
+	AbortDecisions = budget.Decisions // decision cap exhausted
+	AbortCubes     = budget.Cubes     // cube cap exhausted
+	AbortNodes     = budget.Nodes     // BDD node cap exhausted
 )
 
 // Engine constants (see the preimage package for semantics).
@@ -129,7 +165,9 @@ func Target(c *Circuit, patterns ...string) (*Cover, error) {
 	return trans.TargetFromPatterns(n, patterns...), nil
 }
 
-// Preimage computes the one-step preimage of the target patterns.
+// Preimage computes the one-step preimage of the target patterns. If
+// opts.Budget trips mid-run the result reports Aborted with a sound
+// partial cover (a subset of the true preimage) — see Budget.
 func Preimage(c *Circuit, opts Options, patterns ...string) (*Result, error) {
 	target, err := Target(c, patterns...)
 	if err != nil {
@@ -144,7 +182,9 @@ func PreimageOf(c *Circuit, target *Cover, opts Options) (*Result, error) {
 }
 
 // BackwardReach iterates preimages from the target patterns until a
-// fixpoint or maxSteps steps (maxSteps <= 0 runs to fixpoint).
+// fixpoint or maxSteps steps (maxSteps <= 0 runs to fixpoint). A budget
+// abort in any layer marks the result Aborted and suppresses the
+// Fixpoint claim: a truncated layer can never prove convergence.
 func BackwardReach(c *Circuit, opts Options, maxSteps int, patterns ...string) (*ReachResult, error) {
 	target, err := Target(c, patterns...)
 	if err != nil {
@@ -182,7 +222,9 @@ func ForwardReach(c *Circuit, opts Options, maxSteps int, patterns ...string) (*
 // state of init (backward fixpoint proof or concrete counterexample
 // trace). maxSteps <= 0 runs until the answer is definitive. On a
 // complete UNREACHABLE verdict the result carries an inductive invariant
-// certificate; check it with VerifyInvariant.
+// certificate; check it with VerifyInvariant. When opts.Budget trips,
+// the result reports Aborted: a REACHABLE verdict found before the trip
+// is still trusted, but no unreachability claim is made.
 func CheckReachable(c *Circuit, init, bad *Cover, maxSteps int, opts Options) (*CheckResult, error) {
 	return preimage.CheckReachable(c, init, bad, maxSteps, opts)
 }
@@ -206,11 +248,21 @@ func KStepPreimage(c *Circuit, opts Options, k int, patterns ...string) (*Result
 // BMCResult is the outcome of a bounded model checking run.
 type BMCResult = bmc.Result
 
+// BMCOptions tunes the BMC solver and bounds its resources.
+type BMCOptions = bmc.Options
+
 // BMC searches for a counterexample of length ≤ bound by time-frame
 // expansion with incremental SAT. Unlike CheckReachable it cannot prove
 // unreachability — only "no counterexample within the bound".
 func BMC(c *Circuit, init, bad *Cover, bound int) (*BMCResult, error) {
 	return bmc.Check(c, init, bad, bound)
+}
+
+// BMCOpts is BMC with solver tuning and a resource budget: when the
+// budget trips, the result reports Aborted with the deepest depth
+// certified counterexample-free — never an error.
+func BMCOpts(c *Circuit, init, bad *Cover, bound int, opts BMCOptions) (*BMCResult, error) {
+	return bmc.CheckOpts(c, init, bad, bound, opts)
 }
 
 // Witness is one (state, input) cube driving the circuit into a target.
@@ -268,6 +320,16 @@ type DimacsOptions struct {
 	// Preprocess applies model-preserving CNF reductions (subsumption,
 	// self-subsuming resolution, unit propagation) before enumeration.
 	Preprocess bool
+	// Budget bounds the enumeration; a tripped limit yields a partial
+	// cover with Aborted set on the result (sound under-approximation).
+	Budget Budget
+	// MaxCubes caps the number of cubes enumerated by the blocking and
+	// lifting engines (0 = unlimited); the tighter of this and
+	// Budget.MaxCubes wins. The success-driven engine builds a BDD
+	// rather than cubes and is bounded by the Budget instead.
+	MaxCubes int
+	// Stats, when non-nil, receives search counters for the run.
+	Stats *StatsRegistry
 }
 
 // EnumerateDimacs reads a DIMACS CNF (optionally carrying a "c proj ..."
@@ -312,16 +374,34 @@ func EnumerateDimacsOpts(r io.Reader, o DimacsOptions) (*allsat.Result, error) {
 		}
 	}
 	space := cube.NewSpace(proj)
+	bud := o.Budget.Materialize()
+	asOpts := allsat.Options{Budget: bud, MaxCubes: uint64(o.MaxCubes)}
+	var res *allsat.Result
 	switch engine {
 	case EngineSuccessDriven:
-		return core.EnumerateToResult(f, space, core.DefaultOptions()), nil
+		co := core.DefaultOptions()
+		co.Budget = bud
+		res = core.EnumerateToResult(f, space, co)
 	case EngineBlocking:
-		return allsat.EnumerateBlocking(f, space, allsat.Options{}), nil
+		res = allsat.EnumerateBlocking(f, space, asOpts)
 	case EngineLifting:
-		return allsat.EnumerateLifting(f, space, allsat.Options{}), nil
+		res = allsat.EnumerateLifting(f, space, asOpts)
 	default:
 		return nil, fmt.Errorf("allsatpre: engine %v cannot enumerate raw CNF", engine)
 	}
+	if o.Stats != nil {
+		o.Stats.Counter("decisions").Add(res.Stats.Decisions)
+		o.Stats.Counter("propagations").Add(res.Stats.Propagations)
+		o.Stats.Counter("conflicts").Add(res.Stats.Conflicts)
+		o.Stats.Counter("solutions").Add(res.Stats.Solutions)
+		o.Stats.Counter("cubes").Add(res.Stats.Cubes)
+		o.Stats.MaxGauge("bdd-nodes", int64(res.Stats.BDDNodes))
+		if res.Aborted {
+			o.Stats.Counter("aborts").Inc()
+			o.Stats.Counter("abort-" + res.Reason.String()).Inc()
+		}
+	}
+	return res, nil
 }
 
 // Benchmark circuit generators (see internal/gen for parameters).

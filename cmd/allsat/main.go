@@ -20,6 +20,7 @@ import (
 
 	"allsatpre"
 	"allsatpre/internal/cnf"
+	"allsatpre/internal/genspec"
 )
 
 func main() {
@@ -28,6 +29,7 @@ func main() {
 	forgetFlag := flag.String("forget", "", "comma-separated 1-based variables to quantify out (projection = all others); the result is ∃forget.F as a cube cover")
 	showCubes := flag.Bool("cubes", false, "print the solution cubes")
 	pre := flag.Bool("pre", false, "preprocess (subsumption, strengthening) before enumerating")
+	bf := genspec.AddBudgetFlags(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: allsat [flags] file.cnf|-")
@@ -99,13 +101,20 @@ func main() {
 		}
 	}
 
+	reg := bf.StatsRegistry("allsat")
 	res, err := allsatpre.EnumerateDimacsOpts(bytes.NewReader(data), allsatpre.DimacsOptions{
 		Engine: eng, Proj: proj, Preprocess: *pre,
+		Budget: bf.Budget(), MaxCubes: int(bf.MaxCubes), Stats: reg,
 	})
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("solutions (projected minterms): %s\n", res.Count)
+	genspec.Truncated(os.Stdout, res.Aborted, res.Reason)
+	if res.Aborted {
+		fmt.Printf("solutions (projected minterms, partial): %s\n", res.Count)
+	} else {
+		fmt.Printf("solutions (projected minterms): %s\n", res.Count)
+	}
 	fmt.Printf("cubes: %d\n", res.Cover.Len())
 	fmt.Printf("decisions: %d  propagations: %d  conflicts: %d\n",
 		res.Stats.Decisions, res.Stats.Propagations, res.Stats.Conflicts)
@@ -117,6 +126,7 @@ func main() {
 			fmt.Println(c)
 		}
 	}
+	bf.Report(os.Stdout, reg)
 }
 
 func fatal(err error) {

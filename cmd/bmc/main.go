@@ -21,6 +21,7 @@ import (
 
 func main() {
 	bound := flag.Int("bound", 20, "maximum counterexample length")
+	bf := genspec.AddBudgetFlags(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() < 3 {
 		fmt.Fprintln(os.Stderr, "usage: bmc [flags] circuit INIT-PATTERN BAD-PATTERN [BAD-PATTERN ...]")
@@ -40,11 +41,21 @@ func main() {
 		fatal(err)
 	}
 	t := stats.StartTimer()
-	res, err := allsatpre.BMC(c, init, bad, *bound)
+	res, err := allsatpre.BMCOpts(c, init, bad, *bound, allsatpre.BMCOptions{Budget: bf.Budget()})
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("circuit: %s\n", c.Stats())
+	if res.Aborted {
+		genspec.Truncated(os.Stdout, true, res.AbortReason)
+		certified := "no depth certified counterexample-free"
+		if res.Depth >= 0 {
+			certified = fmt.Sprintf("depths 0..%d certified counterexample-free", res.Depth)
+		}
+		fmt.Printf("ABORTED (%s): %s, bound %d not reached (%d solves, %v)\n",
+			res.AbortReason, certified, *bound, res.Solves, t.Elapsed())
+		os.Exit(3)
+	}
 	if !res.Reachable {
 		fmt.Printf("NO counterexample within bound %d (%d solves, %v)\n",
 			*bound, res.Solves, t.Elapsed())

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"allsatpre/internal/experiments"
+	"allsatpre/internal/genspec"
 	"allsatpre/internal/stats"
 )
 
@@ -21,7 +22,14 @@ func main() {
 	only := flag.String("only", "", "comma-separated subset: table1..table6, fig1..fig4")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	steps := flag.Int("steps", 6, "step cap for table3 reachability")
+	bf := genspec.AddBudgetFlags(flag.CommandLine)
 	flag.Parse()
+
+	// Budgeted rows truncate loudly inside the tables (">N TRUNCATED(...)"
+	// cells) instead of hanging the harness on a wedged workload.
+	experiments.RunBudget = bf.Budget()
+	reg := bf.StatsRegistry("experiments")
+	experiments.RunStats = reg
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -81,4 +89,5 @@ func main() {
 		tb, _ := experiments.Table6()
 		emit(tb)
 	}
+	bf.Report(os.Stdout, reg)
 }

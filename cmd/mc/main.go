@@ -27,6 +27,7 @@ func main() {
 	engine := flag.String("engine", "success", "engine: success | blocking | lifting | bdd")
 	steps := flag.Int("steps", 0, "maximum preimage iterations (<= 0: unbounded)")
 	vcd := flag.String("vcd", "", "write the counterexample trace as a VCD waveform here")
+	bf := genspec.AddBudgetFlags(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() < 3 {
 		fmt.Fprintln(os.Stderr, "usage: mc [flags] circuit INIT-PATTERN BAD-PATTERN [BAD-PATTERN ...]")
@@ -51,7 +52,9 @@ func main() {
 	}
 
 	t := stats.StartTimer()
-	res, err := allsatpre.CheckReachable(c, init, bad, *steps, allsatpre.Options{Engine: eng})
+	reg := bf.StatsRegistry("mc")
+	res, err := allsatpre.CheckReachable(c, init, bad, *steps,
+		allsatpre.Options{Engine: eng, Budget: bf.Budget(), Stats: reg})
 	if err != nil {
 		fatal(err)
 	}
@@ -86,10 +89,20 @@ func main() {
 			}
 			fmt.Printf("inductive invariant certificate verified (%d cubes)\n", res.Invariant.Len())
 		}
+	case res.Aborted:
+		// A truncated layer proves nothing about unreachability: say so
+		// loudly and exit nonzero, never claim a verdict.
+		genspec.Truncated(os.Stdout, true, res.AbortReason)
+		fmt.Printf("UNDECIDED after %d iterations (budget exhausted: %s, %v)\n",
+			res.Steps, res.AbortReason, t.Elapsed())
+		bf.Report(os.Stdout, reg)
+		os.Exit(3)
 	default:
 		fmt.Printf("UNDECIDED after %d iterations (step cap hit, %v)\n", res.Steps, t.Elapsed())
+		bf.Report(os.Stdout, reg)
 		os.Exit(3)
 	}
+	bf.Report(os.Stdout, reg)
 }
 
 func bits(b []bool) string {

@@ -26,6 +26,7 @@ func main() {
 	withInputs := flag.Bool("inputs", false, "also report witness input assignments")
 	showCubes := flag.Bool("cubes", false, "print the preimage cubes")
 	kstep := flag.Int("kstep", 0, "with k > 0, enumerate all states reaching the target within k steps (one unrolled all-SAT call; SAT engines only)")
+	bf := genspec.AddBudgetFlags(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() < 2 {
 		fmt.Fprintln(os.Stderr, "usage: preimage [flags] circuit.bench|spec pattern [pattern ...]")
@@ -42,12 +43,14 @@ func main() {
 		fatal(err)
 	}
 
+	reg := bf.StatsRegistry("preimage")
+	opts := allsatpre.Options{Engine: eng, Budget: bf.Budget(), Stats: reg}
 	var res *allsatpre.Result
 	if *kstep > 0 {
-		res, err = allsatpre.KStepPreimage(c, allsatpre.Options{Engine: eng}, *kstep, flag.Args()[1:]...)
+		res, err = allsatpre.KStepPreimage(c, opts, *kstep, flag.Args()[1:]...)
 	} else {
-		res, err = allsatpre.Preimage(c, allsatpre.Options{Engine: eng, WithInputs: *withInputs},
-			flag.Args()[1:]...)
+		opts.WithInputs = *withInputs
+		res, err = allsatpre.Preimage(c, opts, flag.Args()[1:]...)
 	}
 	if err != nil {
 		fatal(err)
@@ -55,7 +58,12 @@ func main() {
 	st := c.Stats()
 	fmt.Printf("circuit: %s\n", st)
 	fmt.Printf("engine: %s\n", eng)
-	fmt.Printf("preimage states: %s\n", res.Count)
+	genspec.Truncated(os.Stdout, res.Aborted, res.AbortReason)
+	if res.Aborted {
+		fmt.Printf("preimage states (partial): %s\n", res.Count)
+	} else {
+		fmt.Printf("preimage states: %s\n", res.Count)
+	}
 	fmt.Printf("cubes: %d\n", res.States.Len())
 	if res.Stats.Decisions > 0 || res.Stats.Conflicts > 0 {
 		fmt.Printf("decisions: %d  conflicts: %d  solutions: %d\n",
@@ -79,6 +87,7 @@ func main() {
 			}
 		}
 	}
+	bf.Report(os.Stdout, reg)
 }
 
 func latchNames(c *allsatpre.Circuit) string {

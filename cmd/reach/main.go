@@ -22,6 +22,7 @@ import (
 func main() {
 	engine := flag.String("engine", "success", "engine: success | blocking | lifting | bdd")
 	steps := flag.Int("steps", 0, "maximum preimage steps (<= 0: run to fixpoint)")
+	bf := genspec.AddBudgetFlags(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() < 2 {
 		fmt.Fprintln(os.Stderr, "usage: reach [flags] circuit.bench|spec pattern [pattern ...]")
@@ -37,7 +38,9 @@ func main() {
 		fatal(err)
 	}
 	t := stats.StartTimer()
-	r, err := allsatpre.BackwardReach(c, allsatpre.Options{Engine: eng}, *steps, flag.Args()[1:]...)
+	reg := bf.StatsRegistry("reach")
+	r, err := allsatpre.BackwardReach(c,
+		allsatpre.Options{Engine: eng, Budget: bf.Budget(), Stats: reg}, *steps, flag.Args()[1:]...)
 	if err != nil {
 		fatal(err)
 	}
@@ -48,8 +51,14 @@ func main() {
 		tb.AddRow(k, r.FrontierCounts[k].String(), r.Frontiers[k].Len())
 	}
 	tb.Render(os.Stdout)
-	fmt.Printf("total states: %s   fixpoint: %v   steps: %d   time: %v\n",
-		r.AllCount, r.Fixpoint, r.Steps, t.Elapsed())
+	genspec.Truncated(os.Stdout, r.Aborted, r.AbortReason)
+	if r.Aborted {
+		fmt.Printf("total states (partial): %s   fixpoint: %v   steps: %d   time: %v\n",
+			r.AllCount, r.Fixpoint, r.Steps, t.Elapsed())
+	} else {
+		fmt.Printf("total states: %s   fixpoint: %v   steps: %d   time: %v\n",
+			r.AllCount, r.Fixpoint, r.Steps, t.Elapsed())
+	}
 	if r.Stats.Decisions > 0 {
 		fmt.Printf("decisions: %d  conflicts: %d  solutions: %d\n",
 			r.Stats.Decisions, r.Stats.Conflicts, r.Stats.Solutions)
@@ -57,6 +66,7 @@ func main() {
 	if r.Stats.CacheLookups > 0 {
 		fmt.Printf("memo: %d/%d hits\n", r.Stats.CacheHits, r.Stats.CacheLookups)
 	}
+	bf.Report(os.Stdout, reg)
 }
 
 func fatal(err error) {

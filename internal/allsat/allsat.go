@@ -20,6 +20,7 @@ import (
 	"math/big"
 
 	"allsatpre/internal/bdd"
+	"allsatpre/internal/budget"
 	"allsatpre/internal/cnf"
 	"allsatpre/internal/cube"
 	"allsatpre/internal/lit"
@@ -57,9 +58,12 @@ type Result struct {
 	Cover *cube.Cover
 	// Count is the exact number of projected minterms.
 	Count *big.Int
-	// Aborted is true when MaxCubes stopped enumeration early; Cover is
-	// then a subset of the projection.
+	// Aborted is true when a resource limit (MaxCubes, the solver's
+	// conflict cap, or the Budget) stopped enumeration early; Cover is
+	// then a subset of the projection — a sound under-approximation, never
+	// garbage. Reason says which limit tripped.
 	Aborted bool
+	Reason  budget.Reason
 	// Stats holds the search counters.
 	Stats Stats
 }
@@ -73,6 +77,10 @@ type Options struct {
 	// LiftOrder optionally overrides the greedy lifting order: it is the
 	// list of projection-space positions to try to free, first to last.
 	LiftOrder []int
+	// Budget imposes wall-clock/cancellation/cube limits across the whole
+	// enumeration loop (the SAT sub-budget in SAT.Budget applies per
+	// solver). The zero Budget is unbounded.
+	Budget budget.Budget
 }
 
 // countCover computes the exact minterm count of a cover by building its
@@ -97,16 +105,26 @@ func EnumerateLifting(f *cnf.Formula, space *cube.Space, opts Options) *Result {
 }
 
 func enumerateWithBlocking(f *cnf.Formula, space *cube.Space, opts Options, lift bool) *Result {
+	bud := opts.Budget.Materialize()
 	res := &Result{Space: space, Cover: cube.NewCover(space), Count: new(big.Int)}
-	s := sat.FromFormula(f, opts.SAT)
+	satOpts := opts.SAT
+	// Share the enumeration budget with the solver so a deadline or
+	// cancellation interrupts a long Solve call, not just the loop between
+	// calls. An explicit solver budget wins.
+	if satOpts.Budget.IsZero() {
+		satOpts.Budget = bud
+	}
+	s := sat.FromFormula(f, satOpts)
 	var lifter *modelLifter
 	if lift {
 		lifter = newModelLifter(f, space, opts.LiftOrder)
 	}
 
+	maxCubes := bud.MergeCubes(opts.MaxCubes)
 	for {
-		if opts.MaxCubes > 0 && res.Stats.Cubes >= opts.MaxCubes {
+		if maxCubes > 0 && res.Stats.Cubes >= maxCubes {
 			res.Aborted = true
+			res.Reason = budget.Cubes
 			break
 		}
 		st := s.Solve()
@@ -114,8 +132,10 @@ func enumerateWithBlocking(f *cnf.Formula, space *cube.Space, opts Options, lift
 			break
 		}
 		if st != sat.Sat {
-			// Conflict budget exhausted; treat as an abort.
+			// Solver budget exhausted; the cover so far is a sound
+			// under-approximation.
 			res.Aborted = true
+			res.Reason = s.StopReason()
 			break
 		}
 		res.Stats.Solutions++

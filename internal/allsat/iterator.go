@@ -1,6 +1,7 @@
 package allsat
 
 import (
+	"allsatpre/internal/budget"
 	"allsatpre/internal/cnf"
 	"allsatpre/internal/cube"
 	"allsatpre/internal/lit"
@@ -16,14 +17,21 @@ type Iterator struct {
 	space  *cube.Space
 	lifter *modelLifter
 	done   bool
+	reason budget.Reason // why enumeration stopped early, None if exhausted
 	stats  Stats
 }
 
 // NewIterator prepares an iterator over the solutions of f projected onto
-// space. With lift, each returned cube is greedily enlarged first.
+// space. With lift, each returned cube is greedily enlarged first. An
+// Options.Budget bounds the whole iteration; when it trips, Next returns
+// false and Reason reports the limit.
 func NewIterator(f *cnf.Formula, space *cube.Space, opts Options, lift bool) *Iterator {
+	satOpts := opts.SAT
+	if satOpts.Budget.IsZero() {
+		satOpts.Budget = opts.Budget.Materialize()
+	}
 	it := &Iterator{
-		s:     sat.FromFormula(f, opts.SAT),
+		s:     sat.FromFormula(f, satOpts),
 		space: space,
 	}
 	if lift {
@@ -42,6 +50,9 @@ func (it *Iterator) Next() (cube.Cube, bool) {
 	st := it.s.Solve()
 	if st != sat.Sat {
 		it.done = true
+		if st == sat.Unknown {
+			it.reason = it.s.StopReason()
+		}
 		it.captureStats()
 		return nil, false
 	}
@@ -74,6 +85,15 @@ func (it *Iterator) Next() (cube.Cube, bool) {
 
 // Exhausted reports whether the enumeration has completed.
 func (it *Iterator) Exhausted() bool { return it.done }
+
+// Reason reports why the iteration stopped before exhausting the solution
+// set (budget.None when it ran to completion or is still running). A
+// non-None reason means the cubes seen so far are a subset of the
+// projection, not all of it.
+func (it *Iterator) Reason() budget.Reason { return it.reason }
+
+// Aborted reports whether a resource limit cut the iteration short.
+func (it *Iterator) Aborted() bool { return it.reason != budget.None }
 
 // Stats returns the counters accumulated so far.
 func (it *Iterator) Stats() Stats {

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 
+	"allsatpre/internal/budget"
 	"allsatpre/internal/lit"
 )
 
@@ -48,6 +49,12 @@ const (
 	opCompose
 )
 
+// DefaultCacheLimit is the apply-cache entry cap installed on new
+// managers: past it the cache is cleared wholesale (clear-on-threshold),
+// bounding memory on long reachability runs at the price of recomputing
+// warm entries. Tune per manager with SetCacheLimit.
+const DefaultCacheLimit = 1 << 21
+
 // Manager owns a node table and operation caches for one variable order.
 type Manager struct {
 	nodes    []node
@@ -55,6 +62,84 @@ type Manager struct {
 	cache    map[opKey]Ref
 	order    []lit.Var // level -> variable
 	varLevel []int32   // variable -> level, -1 if unknown
+
+	// Apply-cache governance: the cache is cleared whenever it grows past
+	// cacheLimit entries (0 = unbounded); the counters feed stats.
+	cacheLimit   int
+	cacheLookups uint64
+	cacheHits    uint64
+	cacheClears  uint64
+
+	// Resource limits (see SetLimits): exceeding them aborts the current
+	// operation by panicking with *Abort, recovered by CatchAbort.
+	maxNodes int
+	check    *budget.Checker
+}
+
+// Abort is the panic payload raised from deep inside a BDD operation
+// when the manager's budget (node cap, deadline, cancellation) trips.
+// Recover it with CatchAbort; any other panic is re-raised.
+type Abort struct {
+	Reason budget.Reason
+}
+
+func (a *Abort) Error() string { return "bdd: aborted: " + a.Reason.String() }
+
+// SetLimits installs a node cap (0 = unlimited) and an optional budget
+// checker polled from the node-construction hot path. When either trips,
+// the in-flight operation panics with *Abort — wrap the calling
+// computation with `defer CatchAbort(&reason)` to turn that into a
+// structured abort with whatever partial state the caller retains.
+func (m *Manager) SetLimits(maxNodes int, check *budget.Checker) {
+	m.maxNodes = maxNodes
+	m.check = check
+}
+
+// CatchAbort is the deferred companion of SetLimits: it recovers an
+// *Abort panic into *reason and re-raises anything else.
+func CatchAbort(reason *budget.Reason) {
+	if r := recover(); r != nil {
+		if a, ok := r.(*Abort); ok {
+			*reason = a.Reason
+			return
+		}
+		panic(r)
+	}
+}
+
+// SetCacheLimit caps the apply cache at n entries (n <= 0 removes the
+// cap). The cache is cleared, not shrunk, when the cap is exceeded.
+func (m *Manager) SetCacheLimit(n int) {
+	if n < 0 {
+		n = 0
+	}
+	m.cacheLimit = n
+}
+
+// CacheStats reports apply-cache activity: lookups, hits, wholesale
+// clears forced by the entry cap, and the current entry count.
+func (m *Manager) CacheStats() (lookups, hits, clears uint64, size int) {
+	return m.cacheLookups, m.cacheHits, m.cacheClears, len(m.cache)
+}
+
+// cacheGet is the instrumented apply-cache probe.
+func (m *Manager) cacheGet(key opKey) (Ref, bool) {
+	m.cacheLookups++
+	r, ok := m.cache[key]
+	if ok {
+		m.cacheHits++
+	}
+	return r, ok
+}
+
+// cachePut inserts an apply-cache entry, clearing the whole cache first
+// when it has grown past the limit.
+func (m *Manager) cachePut(key opKey, r Ref) {
+	if m.cacheLimit > 0 && len(m.cache) >= m.cacheLimit {
+		m.cache = make(map[opKey]Ref)
+		m.cacheClears++
+	}
+	m.cache[key] = r
 }
 
 // New creates a manager over n variables with the identity order
@@ -71,9 +156,10 @@ func New(n int) *Manager {
 // (first entry at the top). Every variable used in operations must appear.
 func NewOrdered(order []lit.Var) *Manager {
 	m := &Manager{
-		unique: make(map[node]Ref),
-		cache:  make(map[opKey]Ref),
-		order:  append([]lit.Var(nil), order...),
+		unique:     make(map[node]Ref),
+		cache:      make(map[opKey]Ref),
+		order:      append([]lit.Var(nil), order...),
+		cacheLimit: DefaultCacheLimit,
 	}
 	maxVar := lit.Var(-1)
 	for _, v := range order {
@@ -123,7 +209,8 @@ func (m *Manager) VarAtLevel(l int32) lit.Var { return m.order[l] }
 func (m *Manager) level(r Ref) int32 { return m.nodes[r].level }
 
 // mk returns the canonical node (level, low, high), applying the ROBDD
-// reduction rules.
+// reduction rules. It is the single point through which every node is
+// created, so the budget limits are enforced here.
 func (m *Manager) mk(level int32, low, high Ref) Ref {
 	if low == high {
 		return low
@@ -131,6 +218,14 @@ func (m *Manager) mk(level int32, low, high Ref) Ref {
 	n := node{level: level, low: low, high: high}
 	if r, ok := m.unique[n]; ok {
 		return r
+	}
+	if m.maxNodes > 0 && len(m.nodes) >= m.maxNodes {
+		panic(&Abort{Reason: budget.Nodes})
+	}
+	if m.check != nil {
+		if reason := m.check.Poll(); reason != budget.None {
+			panic(&Abort{Reason: reason})
+		}
 	}
 	r := Ref(len(m.nodes))
 	m.nodes = append(m.nodes, n)
@@ -184,7 +279,7 @@ func (m *Manager) ITE(f, g, h Ref) Ref {
 		return f
 	}
 	key := opKey{op: opITE, a: f, b: g, c: h}
-	if r, ok := m.cache[key]; ok {
+	if r, ok := m.cacheGet(key); ok {
 		return r
 	}
 	level := m.level(f)
@@ -198,7 +293,7 @@ func (m *Manager) ITE(f, g, h Ref) Ref {
 	g0, g1 := m.cofactors(g, level)
 	h0, h1 := m.cofactors(h, level)
 	r := m.mk(level, m.ITE(f0, g0, h0), m.ITE(f1, g1, h1))
-	m.cache[key] = r
+	m.cachePut(key, r)
 	return r
 }
 

@@ -42,7 +42,7 @@ func (m *Manager) quant(f, c Ref, op uint8) Ref {
 		return f
 	}
 	key := opKey{op: op, a: f, b: c}
-	if r, ok := m.cache[key]; ok {
+	if r, ok := m.cacheGet(key); ok {
 		return r
 	}
 	n := m.nodes[f]
@@ -58,7 +58,7 @@ func (m *Manager) quant(f, c Ref, op uint8) Ref {
 	} else {
 		r = m.mk(n.level, lo, hi)
 	}
-	m.cache[key] = r
+	m.cachePut(key, r)
 	return r
 }
 
@@ -89,7 +89,7 @@ func (m *Manager) AndExists(f, g, cubeRef Ref) Ref {
 		return m.And(f, g)
 	}
 	key := opKey{op: opAndExists, a: f, b: g, c: c}
-	if r, ok := m.cache[key]; ok {
+	if r, ok := m.cacheGet(key); ok {
 		return r
 	}
 	f0, f1 := m.cofactors(f, top)
@@ -106,7 +106,7 @@ func (m *Manager) AndExists(f, g, cubeRef Ref) Ref {
 	} else {
 		r = m.mk(top, m.AndExists(f0, g0, c), m.AndExists(f1, g1, c))
 	}
-	m.cache[key] = r
+	m.cachePut(key, r)
 	return r
 }
 
@@ -129,11 +129,11 @@ func (m *Manager) restrictRec(f Ref, level int32, val bool) Ref {
 	}
 	var op uint8 = opCompose // reuse slot; distinguish by c encoding below
 	key := opKey{op: op, a: f, b: Ref(level)*2 + boolRef(val), c: -1}
-	if r, ok := m.cache[key]; ok {
+	if r, ok := m.cacheGet(key); ok {
 		return r
 	}
 	r := m.mk(n.level, m.restrictRec(n.low, level, val), m.restrictRec(n.high, level, val))
-	m.cache[key] = r
+	m.cachePut(key, r)
 	return r
 }
 
@@ -186,7 +186,7 @@ func (m *Manager) constrainRec(f, c Ref) Ref {
 		return True
 	}
 	key := opKey{op: opConstrain, a: f, b: c}
-	if r, ok := m.cache[key]; ok {
+	if r, ok := m.cacheGet(key); ok {
 		return r
 	}
 	level := m.level(f)
@@ -206,7 +206,7 @@ func (m *Manager) constrainRec(f, c Ref) Ref {
 		f0, f1 := m.cofactors(f, level)
 		r = m.mk(level, m.constrainRec(f0, c0), m.constrainRec(f1, c1))
 	}
-	m.cache[key] = r
+	m.cachePut(key, r)
 	return r
 }
 

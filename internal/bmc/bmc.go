@@ -14,6 +14,7 @@ package bmc
 import (
 	"fmt"
 
+	"allsatpre/internal/budget"
 	"allsatpre/internal/circuit"
 	"allsatpre/internal/cube"
 	"allsatpre/internal/lit"
@@ -22,12 +23,23 @@ import (
 	"allsatpre/internal/tseitin"
 )
 
+// Options configures a BMC run.
+type Options struct {
+	// SAT tunes the underlying incremental solver (zero value = defaults).
+	SAT sat.Options
+	// Budget imposes resource limits across the whole bound sweep. When
+	// it trips, CheckTo returns a Result with Aborted set and Depth
+	// reporting the last fully explored depth — never an error.
+	Budget budget.Budget
+}
+
 // Result is the outcome of a BMC run.
 type Result struct {
 	// Reachable reports whether a bad state was found within the bound.
 	Reachable bool
 	// Depth is the number of transitions of the counterexample, when
-	// found; otherwise the bound that was fully explored.
+	// found; otherwise the deepest bound fully explored (on an aborted
+	// run, the last depth proven free of counterexamples).
 	Depth int
 	// Trace is the counterexample (nil when not Reachable).
 	Trace *preimage.Trace
@@ -35,6 +47,12 @@ type Result struct {
 	Solves int
 	// Stats carries the cumulative SAT solver counters.
 	Stats sat.Stats
+	// Aborted is true when a resource limit stopped the sweep before the
+	// requested bound. Depths 0..Depth are then certified
+	// counterexample-free, but deeper counterexamples may exist.
+	// AbortReason says which limit tripped.
+	Aborted     bool
+	AbortReason budget.Reason
 }
 
 // Checker incrementally unrolls a circuit. Create with New, then call
@@ -61,6 +79,11 @@ type Checker struct {
 // New prepares a checker for the circuit with an initial-state cover and
 // a bad-state cover (both over the latch order).
 func New(c *circuit.Circuit, init, bad *cube.Cover) (*Checker, error) {
+	return NewOpts(c, init, bad, Options{})
+}
+
+// NewOpts is New with solver tuning and a resource budget.
+func NewOpts(c *circuit.Circuit, init, bad *cube.Cover, opts Options) (*Checker, error) {
 	if init.Space().Size() != len(c.Latches) || bad.Space().Size() != len(c.Latches) {
 		return nil, fmt.Errorf("bmc: init/bad space width must equal the latch count")
 	}
@@ -68,7 +91,11 @@ func New(c *circuit.Circuit, init, bad *cube.Cover) (*Checker, error) {
 	if err != nil {
 		return nil, err
 	}
-	ck := &Checker{c: c, enc: enc, s: sat.NewDefault(), init: init, bad: bad}
+	satOpts := opts.SAT
+	if satOpts.Budget.IsZero() {
+		satOpts.Budget = opts.Budget.Materialize()
+	}
+	ck := &Checker{c: c, enc: enc, s: sat.New(satOpts), init: init, bad: bad}
 
 	// Frame 0 state variables are fresh solver variables constrained to
 	// the initial cover.
@@ -177,7 +204,9 @@ func (ck *Checker) badActivator(k int) lit.Lit {
 }
 
 // CheckTo searches for a counterexample of length ≤ bound, checking each
-// depth in order with one assumption-based incremental solve.
+// depth in order with one assumption-based incremental solve. When the
+// solver's budget runs out mid-sweep, the result reports Aborted with the
+// deepest counterexample-free depth instead of failing with an error.
 func (ck *Checker) CheckTo(bound int) (*Result, error) {
 	res := &Result{}
 	for k := 0; k <= bound; k++ {
@@ -192,15 +221,23 @@ func (ck *Checker) CheckTo(bound int) (*Result, error) {
 			res.Stats = ck.s.Stats()
 			return res, nil
 		case sat.Unsat:
-			// no counterexample at this depth; continue
+			res.Depth = k // certified counterexample-free
 		default:
-			return nil, fmt.Errorf("bmc: solver budget exhausted at depth %d", k)
+			res.Aborted = true
+			res.AbortReason = ck.s.StopReason()
+			res.Depth = k - 1
+			res.Stats = ck.s.Stats()
+			return res, nil
 		}
 	}
 	res.Depth = bound
 	res.Stats = ck.s.Stats()
 	return res, nil
 }
+
+// SetBudget replaces the checker's resource budget for subsequent
+// CheckTo calls (the clock of a relative Timeout starts now).
+func (ck *Checker) SetBudget(b budget.Budget) { ck.s.SetBudget(b) }
 
 // extractTrace reads the model back into a concrete trace of length k.
 func (ck *Checker) extractTrace(k int) *preimage.Trace {
@@ -226,6 +263,15 @@ func (ck *Checker) extractTrace(k int) *preimage.Trace {
 // Check is the one-shot convenience: build a checker and search to bound.
 func Check(c *circuit.Circuit, init, bad *cube.Cover, bound int) (*Result, error) {
 	ck, err := New(c, init, bad)
+	if err != nil {
+		return nil, err
+	}
+	return ck.CheckTo(bound)
+}
+
+// CheckOpts is Check with solver tuning and a resource budget.
+func CheckOpts(c *circuit.Circuit, init, bad *cube.Cover, bound int, opts Options) (*Result, error) {
+	ck, err := NewOpts(c, init, bad, opts)
 	if err != nil {
 		return nil, err
 	}

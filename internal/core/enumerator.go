@@ -36,6 +36,7 @@ import (
 
 	"allsatpre/internal/allsat"
 	"allsatpre/internal/bdd"
+	"allsatpre/internal/budget"
 	"allsatpre/internal/cnf"
 	"allsatpre/internal/cube"
 	"allsatpre/internal/lit"
@@ -54,6 +55,11 @@ type Options struct {
 	// been made (0 = unbounded). An aborted run returns an
 	// under-approximation of the solution set, flagged in the result.
 	MaxDecisions uint64
+	// Budget imposes wall-clock, cancellation, decision, and BDD-node
+	// limits on the enumeration. When it trips, the run aborts with the
+	// portion of the solution set assembled so far — always a sound
+	// under-approximation. The zero Budget is unbounded.
+	Budget budget.Budget
 }
 
 // DefaultOptions enables both learning mechanisms.
@@ -114,8 +120,10 @@ type Enumerator struct {
 	man  *bdd.Manager
 	memo map[sig128]bdd.Ref
 
-	residScan int  // rotating scan pointer for residualSAT
-	aborted   bool // decision budget exhausted
+	residScan   int  // rotating scan pointer for residualSAT
+	aborted     bool // resource budget exhausted
+	abortReason budget.Reason
+	check       *budget.Checker // nil when the budget is unbounded
 
 	stats allsat.Stats
 }
@@ -123,6 +131,7 @@ type Enumerator struct {
 // New prepares an enumerator for formula f projected onto the variables of
 // space (which become the BDD variable order, top to bottom).
 func New(f *cnf.Formula, space *cube.Space, opts Options) *Enumerator {
+	opts.Budget = opts.Budget.Materialize()
 	n := f.NumVars
 	e := &Enumerator{
 		opts:     opts,
@@ -346,10 +355,19 @@ type Result struct {
 	Set bdd.Ref
 	// Stats holds search counters.
 	Stats allsat.Stats
+	// Aborted is true when a resource limit stopped the search early; Set
+	// is then an under-approximation and Reason says what tripped.
+	Aborted bool
+	Reason  budget.Reason
 }
 
-// Enumerate runs the search and returns the solution BDD.
+// Enumerate runs the search and returns the solution BDD. If the budget
+// trips mid-search the returned Set covers only the subtrees completed so
+// far — a sound under-approximation — with Aborted and Reason set.
 func (e *Enumerator) Enumerate() *Result {
+	if e.check == nil && !e.opts.Budget.IsZero() {
+		e.check = e.opts.Budget.Start()
+	}
 	res := &Result{Manager: e.man}
 
 	// Install unit clauses and detect the empty clause.
@@ -385,6 +403,8 @@ func (e *Enumerator) Enumerate() *Result {
 	res.Set = set
 	res.Stats = e.stats
 	res.Stats.BDDNodes = e.man.NumNodes()
+	res.Aborted = e.aborted
+	res.Reason = e.abortReason
 	return res
 }
 
@@ -442,9 +462,20 @@ func (e *Enumerator) branch(dec lit.Lit) bdd.Ref {
 	if e.aborted {
 		return bdd.False
 	}
-	if e.opts.MaxDecisions > 0 && e.stats.Decisions >= e.opts.MaxDecisions {
-		e.aborted = true
+	if maxDec := e.opts.Budget.MergeDecisions(e.opts.MaxDecisions); maxDec > 0 &&
+		e.stats.Decisions >= maxDec {
+		e.abort(budget.Decisions)
 		return bdd.False
+	}
+	if n := e.opts.Budget.MaxBDDNodes; n > 0 && e.man.NumNodes() >= n {
+		e.abort(budget.Nodes)
+		return bdd.False
+	}
+	if e.check != nil {
+		if r := e.check.Poll(); r != budget.None {
+			e.abort(r)
+			return bdd.False
+		}
 	}
 	mark := e.pushLevel()
 	e.stats.Decisions++
@@ -567,6 +598,14 @@ func (e *Enumerator) trailPos(v lit.Var) int {
 	return int(e.trailIdx[v])
 }
 
+// abort flags the enumeration as truncated, keeping the first reason.
+func (e *Enumerator) abort(r budget.Reason) {
+	if !e.aborted {
+		e.aborted = true
+		e.abortReason = r
+	}
+}
+
 // residualSAT decides satisfiability of the residual problem once every
 // projection variable is assigned. For circuit-derived CNF the residual is
 // almost always already decided by propagation (unsatCnt == 0); the
@@ -618,7 +657,8 @@ func EnumerateToResult(f *cnf.Formula, space *cube.Space, opts Options) *allsat.
 		Cover:   r.Manager.ISOP(r.Set, space),
 		Count:   r.Manager.SatCount(r.Set),
 		Stats:   r.Stats,
-		Aborted: e.aborted,
+		Aborted: r.Aborted,
+		Reason:  r.Reason,
 	}
 	out.Stats.Cubes = uint64(out.Cover.Len())
 	return out

@@ -14,6 +14,7 @@ import (
 	"math/big"
 	"time"
 
+	"allsatpre/internal/budget"
 	"allsatpre/internal/circuit"
 	"allsatpre/internal/cube"
 	"allsatpre/internal/gen"
@@ -38,7 +39,29 @@ type Row struct {
 	AvgBlock  float64 // average blocking clause length
 	Steps     int     // reach steps (Table 3)
 	Extra     float64 // experiment-specific x-axis value (Fig 1/2 sweeps)
-	Aborted   bool    // enumeration hit the cube cap ("timeout" row)
+	// Aborted marks a truncated run (cube cap or RunBudget); Count is
+	// then a lower bound, rendered with a TRUNCATED marker, never as a
+	// complete measurement. Reason says which limit tripped.
+	Aborted bool
+	Reason  budget.Reason
+}
+
+// RunBudget, when non-zero, bounds every experiment run — set it from
+// cmd/experiments' -timeout/-max-* flags so a wedged workload truncates
+// loudly instead of hanging the harness.
+var RunBudget budget.Budget
+
+// RunStats, when non-nil, collects per-workload counters: each run gets
+// a "circuit/engine" phase beneath it.
+var RunStats *stats.Registry
+
+// truncMark annotates a count rendered into a table cell when the row
+// was truncated: the measurement is a lower bound, not the answer.
+func truncMark(count string, row Row) string {
+	if !row.Aborted {
+		return count
+	}
+	return ">" + count + " TRUNCATED(" + row.Reason.String() + ")"
 }
 
 // BlockingCubeCap bounds the blocking/lifting baselines in the harness.
@@ -104,6 +127,12 @@ func run(c *circuit.Circuit, target *cube.Cover, opts preimage.Options) Row {
 	case preimage.EngineBlocking, preimage.EngineLifting:
 		opts.AllSAT.MaxCubes = BlockingCubeCap
 	}
+	if opts.Budget.IsZero() {
+		opts.Budget = RunBudget
+	}
+	if opts.Stats == nil && RunStats != nil {
+		opts.Stats = RunStats.Phase(c.Name + "/" + opts.Engine.String())
+	}
 	t := stats.StartTimer()
 	r, err := preimage.Compute(c, target, opts)
 	if err != nil {
@@ -120,6 +149,7 @@ func run(c *circuit.Circuit, target *cube.Cover, opts preimage.Options) Row {
 		Conflicts: r.Stats.Conflicts,
 		BDDNodes:  r.BDDNodes,
 		Aborted:   r.Aborted,
+		Reason:    r.AbortReason,
 	}
 	if opts.Engine == preimage.EngineBDD {
 		row.Cubes = uint64(r.States.Len())
@@ -149,11 +179,7 @@ func Table1() (*stats.Table, []Row) {
 		} {
 			row := run(nc.Circuit, target, preimage.Options{Engine: eng})
 			rows = append(rows, row)
-			count := row.Count.String()
-			if row.Aborted {
-				count = ">" + count + " (cap)"
-			}
-			tb.AddRow(row.Circuit, row.Engine.String(), count,
+			tb.AddRow(row.Circuit, row.Engine.String(), truncMark(row.Count.String(), row),
 				row.Cubes, row.Decisions, row.Conflicts, row.Time)
 		}
 	}
@@ -199,8 +225,12 @@ func Table3(maxSteps int) (*stats.Table, []Row) {
 		for _, eng := range []preimage.Engine{
 			preimage.EngineSuccessDriven, preimage.EngineBlocking, preimage.EngineBDD,
 		} {
+			opts := preimage.Options{Engine: eng, Budget: RunBudget}
+			if RunStats != nil {
+				opts.Stats = RunStats.Phase(nc.Circuit.Name + "/" + eng.String())
+			}
 			t := stats.StartTimer()
-			r, err := preimage.Reach(nc.Circuit, target, maxSteps, preimage.Options{Engine: eng})
+			r, err := preimage.Reach(nc.Circuit, target, maxSteps, opts)
 			if err != nil {
 				panic(err)
 			}
@@ -210,10 +240,12 @@ func Table3(maxSteps int) (*stats.Table, []Row) {
 				Time:    t.Elapsed(),
 				Count:   r.AllCount,
 				Steps:   r.Steps,
+				Aborted: r.Aborted,
+				Reason:  r.AbortReason,
 			}
 			rows = append(rows, row)
 			tb.AddRow(row.Circuit, row.Engine.String(), row.Steps,
-				row.Count.String(), row.Time)
+				truncMark(row.Count.String(), row), row.Time)
 		}
 	}
 	return tb, rows
@@ -249,11 +281,7 @@ func Fig1(freeBits []int, width int) (*stats.Table, []Row) {
 			row := run(c, target, preimage.Options{Engine: eng})
 			row.Extra = float64(k)
 			rows = append(rows, row)
-			count := row.Count.String()
-			if row.Aborted {
-				count = ">" + count + " (cap)"
-			}
-			tb.AddRow(k, eng.String(), count, row.Cubes, row.Time)
+			tb.AddRow(k, eng.String(), truncMark(row.Count.String(), row), row.Cubes, row.Time)
 		}
 	}
 	return tb, rows

@@ -2,12 +2,41 @@ package preimage
 
 import (
 	"fmt"
+	"math/big"
 
 	"allsatpre/internal/bdd"
+	"allsatpre/internal/budget"
 	"allsatpre/internal/circuit"
 	"allsatpre/internal/cube"
 	"allsatpre/internal/lit"
 )
+
+// installLimits arms a BDD manager with the computation budget: a node
+// cap and a deadline/cancellation checker polled from the node-creation
+// hot path. Callers must wrap the subsequent BDD work with
+// bdd.CatchAbort to turn a tripped limit into a structured abort.
+func installLimits(m *bdd.Manager, b budget.Budget) {
+	if b.IsZero() {
+		return
+	}
+	m.SetLimits(b.MaxBDDNodes, b.Start())
+}
+
+// abortedBDDResult is the sound fallback for an aborted symbolic run:
+// unlike the SAT engines, an interrupted relational product has no usable
+// partial answer, so the under-approximation is the empty cover.
+func abortedBDDResult(c *circuit.Circuit, m *bdd.Manager, reason budget.Reason) *Result {
+	stateSpace := StateSpace(c)
+	return &Result{
+		States:      cube.NewCover(stateSpace),
+		StateSpace:  stateSpace,
+		Count:       new(big.Int),
+		BDDNodes:    m.NumNodes(),
+		Engine:      EngineBDD,
+		Aborted:     true,
+		AbortReason: reason,
+	}
+}
 
 // bddVars fixes the BDD variable layout for a circuit with L latches and
 // I inputs: present-state bit k ↦ var 2k, next-state bit k ↦ var 2k+1
@@ -71,9 +100,26 @@ func computeBDD(c *circuit.Circuit, target *cube.Cover, opts Options) (*Result, 
 		varOrder = bv.segregatedOrder()
 	}
 	m := bdd.NewOrdered(varOrder)
-	val, err := gateBDDs(m, c, bv, order)
+	installLimits(m, opts.Budget)
+	res, reason, err := computeBDDBody(c, target, opts, m, bv, order)
 	if err != nil {
 		return nil, err
+	}
+	if reason != budget.None {
+		return abortedBDDResult(c, m, reason), nil
+	}
+	return res, nil
+}
+
+// computeBDDBody runs the budget-armed symbolic computation; a tripped
+// limit unwinds via the *bdd.Abort panic recovered into reason.
+func computeBDDBody(c *circuit.Circuit, target *cube.Cover, opts Options,
+	m *bdd.Manager, bv bddVars, order []int) (_ *Result, reason budget.Reason, err error) {
+	defer bdd.CatchAbort(&reason)
+
+	val, err := gateBDDs(m, c, bv, order)
+	if err != nil {
+		return nil, budget.None, err
 	}
 
 	// Target over next-state variables.
@@ -115,7 +161,7 @@ func computeBDD(c *circuit.Circuit, target *cube.Cover, opts Options) (*Result, 
 	}()
 	if opts.Restrict != nil {
 		if len(opts.Restrict) != bv.nL {
-			return nil, fmt.Errorf("preimage: Restrict has %d positions, circuit has %d latches",
+			return nil, budget.None, fmt.Errorf("preimage: Restrict has %d positions, circuit has %d latches",
 				len(opts.Restrict), bv.nL)
 		}
 		r = m.And(r, m.FromCube(mgrStateSpace, opts.Restrict))
@@ -129,5 +175,5 @@ func computeBDD(c *circuit.Circuit, target *cube.Cover, opts Options) (*Result, 
 		Count:      m.SatCountIn(r, mgrStateSpace.Vars()),
 		BDDNodes:   m.NumNodes(),
 		Engine:     EngineBDD,
-	}, nil
+	}, budget.None, nil
 }

@@ -2,11 +2,11 @@ package preimage
 
 import (
 	"fmt"
+	"time"
 
-	"allsatpre/internal/allsat"
 	"allsatpre/internal/bdd"
+	"allsatpre/internal/budget"
 	"allsatpre/internal/circuit"
-	"allsatpre/internal/core"
 	"allsatpre/internal/cube"
 	"allsatpre/internal/lit"
 	"allsatpre/internal/trans"
@@ -24,8 +24,14 @@ import (
 // cut-based enumeration, exactly as the paper observes for preimage's
 // dual).
 func Image(c *circuit.Circuit, init *cube.Cover, opts Options) (*Result, error) {
+	opts.Budget = opts.Budget.Materialize()
+	start := time.Now()
 	if opts.Engine == EngineBDD {
-		return imageBDD(c, init)
+		out, err := imageBDD(c, init, opts)
+		if err == nil {
+			recordStats(opts.Stats, out, time.Since(start))
+		}
+		return out, err
 	}
 	inst, err := trans.NewImageInstance(c, init)
 	if err != nil {
@@ -38,20 +44,9 @@ func Image(c *circuit.Circuit, init *cube.Cover, opts Options) (*Result, error) 
 	stateSpace := StateSpace(c)
 	projSpace := cube.NewSpace(dedupVars(inst.NextVars))
 
-	var res *allsat.Result
-	switch opts.Engine {
-	case EngineSuccessDriven:
-		co := opts.Core
-		if co == (core.Options{}) {
-			co = core.DefaultOptions()
-		}
-		res = core.EnumerateToResult(inst.F, projSpace, co)
-	case EngineBlocking:
-		res = allsat.EnumerateBlocking(inst.F, projSpace, opts.AllSAT)
-	case EngineLifting:
-		res = allsat.EnumerateLifting(inst.F, projSpace, opts.AllSAT)
-	default:
-		return nil, fmt.Errorf("preimage: unknown engine %v", opts.Engine)
+	res, err := runSATEngine(inst.F, projSpace, opts)
+	if err != nil {
+		return nil, err
 	}
 
 	// Expand the (deduplicated) projection cover back onto the full latch
@@ -93,14 +88,16 @@ func Image(c *circuit.Circuit, init *cube.Cover, opts Options) (*Result, error) 
 	}
 	states.Reduce()
 	out := &Result{
-		States:     states,
-		StateSpace: stateSpace,
-		Stats:      res.Stats,
-		BDDNodes:   res.Stats.BDDNodes,
-		Engine:     opts.Engine,
-		Aborted:    res.Aborted,
+		States:      states,
+		StateSpace:  stateSpace,
+		Stats:       res.Stats,
+		BDDNodes:    res.Stats.BDDNodes,
+		Engine:      opts.Engine,
+		Aborted:     res.Aborted,
+		AbortReason: res.Reason,
 	}
 	out.Count = countStates(states)
+	recordStats(opts.Stats, out, time.Since(start))
 	return out, nil
 }
 
@@ -121,8 +118,9 @@ func dedupVars(vars []lit.Var) []lit.Var {
 
 // imageBDD computes the forward image symbolically: the next-state
 // functions are built over (s, x), conjoined with the initial set, and
-// (s, x) is quantified out of the transition product.
-func imageBDD(c *circuit.Circuit, init *cube.Cover) (*Result, error) {
+// (s, x) is quantified out of the transition product. A tripped budget
+// yields the aborted empty-cover result, like the preimage direction.
+func imageBDD(c *circuit.Circuit, init *cube.Cover, opts Options) (*Result, error) {
 	if init.Space().Size() != len(c.Latches) {
 		return nil, fmt.Errorf("preimage: init has %d positions, circuit has %d latches",
 			init.Space().Size(), len(c.Latches))
@@ -133,9 +131,24 @@ func imageBDD(c *circuit.Circuit, init *cube.Cover) (*Result, error) {
 	}
 	bv := bddVars{nL: len(c.Latches), nI: len(c.Inputs)}
 	m := bdd.NewOrdered(bv.order())
-	val, err := gateBDDs(m, c, bv, order)
+	installLimits(m, opts.Budget)
+	res, reason, err := imageBDDBody(c, init, m, bv, order)
 	if err != nil {
 		return nil, err
+	}
+	if reason != budget.None {
+		return abortedBDDResult(c, m, reason), nil
+	}
+	return res, nil
+}
+
+func imageBDDBody(c *circuit.Circuit, init *cube.Cover,
+	m *bdd.Manager, bv bddVars, order []int) (_ *Result, reason budget.Reason, err error) {
+	defer bdd.CatchAbort(&reason)
+
+	val, err := gateBDDs(m, c, bv, order)
+	if err != nil {
+		return nil, budget.None, err
 	}
 
 	curSpace := func() *cube.Space {
@@ -180,7 +193,7 @@ func imageBDD(c *circuit.Circuit, init *cube.Cover) (*Result, error) {
 		Count:      m.SatCountIn(r, nextSpace.Vars()),
 		BDDNodes:   m.NumNodes(),
 		Engine:     EngineBDD,
-	}, nil
+	}, budget.None, nil
 }
 
 // gateBDDs builds the per-gate BDDs over (state, input) variables; shared

@@ -3,10 +3,8 @@ package preimage
 import (
 	"fmt"
 
-	"allsatpre/internal/allsat"
 	"allsatpre/internal/circuit"
 	"allsatpre/internal/cnf"
-	"allsatpre/internal/core"
 	"allsatpre/internal/cube"
 	"allsatpre/internal/lit"
 	"allsatpre/internal/tseitin"
@@ -23,6 +21,7 @@ import (
 // and the disjunction of the selectors requires some frame to hit it.
 // The projection is the frame-0 state vector.
 func KStepPreimage(c *circuit.Circuit, target *cube.Cover, k int, opts Options) (*Result, error) {
+	opts.Budget = opts.Budget.Materialize()
 	if opts.Engine == EngineBDD {
 		return nil, fmt.Errorf("preimage: KStepPreimage supports only the SAT engines")
 	}
@@ -108,31 +107,21 @@ func KStepPreimage(c *circuit.Circuit, target *cube.Cover, k int, opts Options) 
 	}
 	projSpace := cube.NewNamedSpace(state0, names)
 
-	var res *allsat.Result
-	switch opts.Engine {
-	case EngineSuccessDriven:
-		co := opts.Core
-		if co == (core.Options{}) {
-			co = core.DefaultOptions()
-		}
-		res = core.EnumerateToResult(f, projSpace, co)
-	case EngineBlocking:
-		res = allsat.EnumerateBlocking(f, projSpace, opts.AllSAT)
-	case EngineLifting:
-		res = allsat.EnumerateLifting(f, projSpace, opts.AllSAT)
-	default:
-		return nil, fmt.Errorf("preimage: unknown engine %v", opts.Engine)
+	res, err := runSATEngine(f, projSpace, opts)
+	if err != nil {
+		return nil, err
 	}
 
 	states := canonicalize(stateSpace, res.Cover)
 	states.Reduce()
 	out := &Result{
-		States:     states,
-		StateSpace: stateSpace,
-		Stats:      res.Stats,
-		BDDNodes:   res.Stats.BDDNodes,
-		Engine:     opts.Engine,
-		Aborted:    res.Aborted,
+		States:      states,
+		StateSpace:  stateSpace,
+		Stats:       res.Stats,
+		BDDNodes:    res.Stats.BDDNodes,
+		Engine:      opts.Engine,
+		Aborted:     res.Aborted,
+		AbortReason: res.Reason,
 	}
 	out.Count = countStates(states)
 	return out, nil

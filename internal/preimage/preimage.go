@@ -20,17 +20,21 @@
 package preimage
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"sync"
+	"time"
 
 	"allsatpre/internal/allsat"
 	"allsatpre/internal/bdd"
+	"allsatpre/internal/budget"
 	"allsatpre/internal/circuit"
 	"allsatpre/internal/cnf"
 	"allsatpre/internal/core"
 	"allsatpre/internal/cube"
 	"allsatpre/internal/lit"
+	"allsatpre/internal/stats"
 	"allsatpre/internal/trans"
 )
 
@@ -102,6 +106,20 @@ type Options struct {
 	// known states. The fixpoint and reported per-distance frontiers are
 	// unchanged; only the target handed to the next preimage differs.
 	FrontierSimplify bool
+	// Budget imposes resource limits (deadline, context cancellation,
+	// decision/conflict/cube caps, BDD node cap) on the whole computation,
+	// shared by every engine it drives. A relative Timeout is resolved to
+	// an absolute deadline once, at the outermost entry point, so nested
+	// calls (Reach steps, parallel slices) spend from one allowance. When
+	// the budget trips, results come back with Aborted set and a sound
+	// partial answer — never an error, never silently truncated. Explicit
+	// per-engine budgets (Core.Budget, AllSAT.Budget) take precedence.
+	Budget budget.Budget
+	// Stats, when non-nil, receives hierarchical counters for the run:
+	// engine totals at the root, per-step sub-registries for the
+	// reachability loops. Safe for concurrent use; snapshot or serve it
+	// while the computation is in flight.
+	Stats *stats.Registry
 }
 
 // Result is a preimage: the set of predecessor states.
@@ -121,9 +139,13 @@ type Result struct {
 	BDDNodes int
 	// Engine records which engine produced the result.
 	Engine Engine
-	// Aborted is true when a SAT engine hit its cube cap
-	// (Options.AllSAT.MaxCubes); States is then an under-approximation.
-	Aborted bool
+	// Aborted is true when a resource limit (cube cap, decision cap,
+	// deadline, cancellation, BDD node cap) stopped the engine early.
+	// States is then a sound under-approximation of the true preimage —
+	// every reported state is a genuine predecessor, but some may be
+	// missing. AbortReason says which limit tripped.
+	Aborted     bool
+	AbortReason budget.Reason
 }
 
 // StateSpace builds the canonical state space of a circuit: position k is
@@ -148,19 +170,83 @@ func canonicalize(space *cube.Space, cv *cube.Cover) *cube.Cover {
 	return out
 }
 
-// Compute returns the one-step preimage of the target set.
+// Compute returns the one-step preimage of the target set. When the
+// budget in opts trips mid-computation the result carries Aborted=true
+// and a States cover that under-approximates the preimage; the error
+// return is reserved for malformed inputs.
 func Compute(c *circuit.Circuit, target *cube.Cover, opts Options) (*Result, error) {
-	if opts.Engine == EngineBDD {
-		return computeBDD(c, target, opts)
+	opts.Budget = opts.Budget.Materialize()
+	start := time.Now()
+	var res *Result
+	var err error
+	switch {
+	case opts.Engine == EngineBDD:
+		res, err = computeBDD(c, target, opts)
+	case opts.Parallel > 1 && len(c.Latches) > 0:
+		res, err = computeParallel(c, target, opts)
+	default:
+		res, err = computeSAT(c, target, opts)
 	}
-	if opts.Parallel > 1 && len(c.Latches) > 0 {
-		return computeParallel(c, target, opts)
+	if err == nil {
+		recordStats(opts.Stats, res, time.Since(start))
 	}
-	return computeSAT(c, target, opts)
+	return res, err
+}
+
+// runSATEngine dispatches one all-SAT enumeration for the selected SAT
+// engine, injecting the computation budget into the engine options. The
+// injection happens after the Core zero-value check so default tuning is
+// preserved; an explicitly set engine budget wins over opts.Budget.
+func runSATEngine(f *cnf.Formula, projSpace *cube.Space, opts Options) (*allsat.Result, error) {
+	switch opts.Engine {
+	case EngineSuccessDriven:
+		co := opts.Core
+		if co == (core.Options{}) {
+			co = core.DefaultOptions()
+		}
+		if co.Budget.IsZero() {
+			co.Budget = opts.Budget
+		}
+		return core.EnumerateToResult(f, projSpace, co), nil
+	case EngineBlocking, EngineLifting:
+		as := opts.AllSAT
+		if as.Budget.IsZero() {
+			as.Budget = opts.Budget
+		}
+		if opts.Engine == EngineBlocking {
+			return allsat.EnumerateBlocking(f, projSpace, as), nil
+		}
+		return allsat.EnumerateLifting(f, projSpace, as), nil
+	default:
+		return nil, fmt.Errorf("preimage: unknown engine %v", opts.Engine)
+	}
+}
+
+// recordStats publishes a result's counters into the run registry.
+func recordStats(reg *stats.Registry, r *Result, elapsed time.Duration) {
+	if reg == nil || r == nil {
+		return
+	}
+	reg.Counter("decisions").Add(r.Stats.Decisions)
+	reg.Counter("propagations").Add(r.Stats.Propagations)
+	reg.Counter("conflicts").Add(r.Stats.Conflicts)
+	reg.Counter("solutions").Add(r.Stats.Solutions)
+	reg.Counter("cubes").Add(r.Stats.Cubes)
+	reg.Counter("cache-lookups").Add(r.Stats.CacheLookups)
+	reg.Counter("cache-hits").Add(r.Stats.CacheHits)
+	reg.MaxGauge("bdd-nodes", int64(r.BDDNodes))
+	reg.AddDuration("time", elapsed)
+	if r.Aborted {
+		reg.Counter("aborts").Inc()
+		reg.Counter("abort-"+r.AbortReason.String()).Inc()
+	}
 }
 
 // computeParallel splits the present-state space into disjoint slices on
-// the leading latches and runs computeSAT per slice concurrently.
+// the leading latches and runs computeSAT per slice concurrently. The
+// slices share one budget context: the first slice to fail cancels the
+// rest, so an error does not leave sibling goroutines burning CPU to
+// completion. Per-slice Aborted flags are merged into the result.
 func computeParallel(c *circuit.Circuit, target *cube.Cover, opts Options) (*Result, error) {
 	bits := 1
 	for 1<<bits < opts.Parallel && bits < len(c.Latches) && bits < 4 {
@@ -170,6 +256,14 @@ func computeParallel(c *circuit.Circuit, target *cube.Cover, opts Options) (*Res
 	stateSpace := StateSpace(c)
 	results := make([]*Result, n)
 	errs := make([]error, n)
+
+	parent := opts.Budget.Ctx
+	if parent == nil {
+		parent = context.Background()
+	}
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+
 	var wg sync.WaitGroup
 	for slice := 0; slice < n; slice++ {
 		wg.Add(1)
@@ -177,6 +271,8 @@ func computeParallel(c *circuit.Circuit, target *cube.Cover, opts Options) (*Res
 			defer wg.Done()
 			sub := opts
 			sub.Parallel = 0
+			sub.Stats = nil // the caller records the merged totals once
+			sub.Budget.Ctx = ctx
 			restrict := stateSpace.FullCube()
 			if opts.Restrict != nil {
 				copy(restrict, opts.Restrict)
@@ -197,6 +293,9 @@ func computeParallel(c *circuit.Circuit, target *cube.Cover, opts Options) (*Res
 			}
 			sub.Restrict = restrict
 			results[slice], errs[slice] = computeSAT(c, target, sub)
+			if errs[slice] != nil {
+				cancel() // stop the sibling slices
+			}
 		}(slice)
 	}
 	wg.Wait()
@@ -224,7 +323,12 @@ func computeParallel(c *circuit.Circuit, target *cube.Cover, opts Options) (*Res
 		if r.BDDNodes > out.BDDNodes {
 			out.BDDNodes = r.BDDNodes
 		}
-		out.Aborted = out.Aborted || r.Aborted
+		if r.Aborted {
+			out.Aborted = true
+			if out.AbortReason == budget.None {
+				out.AbortReason = r.AbortReason
+			}
+		}
 	}
 	out.States.Reduce()
 	return out, nil
@@ -294,20 +398,9 @@ func computeSAT(c *circuit.Circuit, target *cube.Cover, opts Options) (*Result, 
 		cnf.EliminateVars(inst.F, func(v lit.Var) bool { return !isProj[v] }, 0)
 	}
 
-	var res *allsat.Result
-	switch opts.Engine {
-	case EngineSuccessDriven:
-		co := opts.Core
-		if co == (core.Options{}) {
-			co = core.DefaultOptions()
-		}
-		res = core.EnumerateToResult(inst.F, projSpace, co)
-	case EngineBlocking:
-		res = allsat.EnumerateBlocking(inst.F, projSpace, opts.AllSAT)
-	case EngineLifting:
-		res = allsat.EnumerateLifting(inst.F, projSpace, opts.AllSAT)
-	default:
-		return nil, fmt.Errorf("preimage: unknown engine %v", opts.Engine)
+	res, err := runSATEngine(inst.F, projSpace, opts)
+	if err != nil {
+		return nil, err
 	}
 
 	stateSpace := StateSpace(c)
@@ -327,12 +420,13 @@ func computeSAT(c *circuit.Circuit, target *cube.Cover, opts Options) (*Result, 
 	states.Reduce()
 
 	out := &Result{
-		States:     states,
-		StateSpace: stateSpace,
-		Stats:      res.Stats,
-		BDDNodes:   res.Stats.BDDNodes,
-		Engine:     opts.Engine,
-		Aborted:    res.Aborted,
+		States:      states,
+		StateSpace:  stateSpace,
+		Stats:       res.Stats,
+		BDDNodes:    res.Stats.BDDNodes,
+		Engine:      opts.Engine,
+		Aborted:     res.Aborted,
+		AbortReason: res.Reason,
 	}
 	out.Count = countStates(states)
 	if opts.WithInputs {

@@ -1,10 +1,12 @@
 package preimage
 
 import (
+	"fmt"
 	"math/big"
 
 	"allsatpre/internal/allsat"
 	"allsatpre/internal/bdd"
+	"allsatpre/internal/budget"
 	"allsatpre/internal/circuit"
 	"allsatpre/internal/cube"
 )
@@ -25,7 +27,10 @@ type ReachResult struct {
 	// AllCount is the exact state count of All.
 	AllCount *big.Int
 	// Fixpoint is true when the iteration converged (the last preimage
-	// added no new states) before the step limit.
+	// added no new states) before the step limit. A fixpoint is claimed
+	// only from complete preimage layers: when the final layer aborted,
+	// Fixpoint stays false no matter how the diff came out, because the
+	// truncated layer may simply have missed the remaining predecessors.
 	Fixpoint bool
 	// Steps is the number of preimage computations performed.
 	Steps int
@@ -33,11 +38,23 @@ type ReachResult struct {
 	Stats allsat.Stats
 	// BDDNodes is the peak per-step engine node count observed.
 	BDDNodes int
+	// Aborted is true when a resource budget cut some preimage step
+	// short. All frontiers up to the truncated one are exact; the final
+	// frontier and All are sound under-approximations. AbortReason says
+	// which limit tripped first.
+	Aborted     bool
+	AbortReason budget.Reason
 }
 
 // Reach iterates Compute backwards from the target until a fixpoint or
 // maxSteps preimage computations (maxSteps <= 0 means run to fixpoint).
+// The budget in opts governs the whole iteration: a relative Timeout is
+// resolved once here, so all steps share the allowance, and a step that
+// aborts ends the iteration with ReachResult.Aborted set — Fixpoint is
+// never claimed from a truncated layer.
 func Reach(c *circuit.Circuit, target *cube.Cover, maxSteps int, opts Options) (*ReachResult, error) {
+	opts.Budget = opts.Budget.Materialize()
+	runStats := opts.Stats
 	stateSpace := StateSpace(c)
 	man := bdd.NewOrdered(stateSpace.Vars())
 
@@ -55,6 +72,9 @@ func Reach(c *circuit.Circuit, target *cube.Cover, maxSteps int, opts Options) (
 			res.Fixpoint = true
 			break
 		}
+		if runStats != nil {
+			opts.Stats = runStats.Phase(fmt.Sprintf("step%02d", step))
+		}
 		pre, err := Compute(c, frontier, opts)
 		if err != nil {
 			return nil, err
@@ -64,10 +84,20 @@ func Reach(c *circuit.Circuit, target *cube.Cover, maxSteps int, opts Options) (
 		if pre.BDDNodes > res.BDDNodes {
 			res.BDDNodes = pre.BDDNodes
 		}
+		if pre.Aborted {
+			res.Aborted = true
+			if res.AbortReason == budget.None {
+				res.AbortReason = pre.AbortReason
+			}
+		}
 		preSet := man.FromCover(pre.States)
 		newSet := man.Diff(preSet, visited)
 		if newSet == bdd.False {
-			res.Fixpoint = true
+			// Convergence may be claimed only from a complete layer: an
+			// aborted preimage adding nothing proves nothing.
+			if !pre.Aborted {
+				res.Fixpoint = true
+			}
 			break
 		}
 		exact := man.ISOP(newSet, stateSpace)
@@ -82,6 +112,13 @@ func Reach(c *circuit.Circuit, target *cube.Cover, maxSteps int, opts Options) (
 		visited = man.Or(visited, newSet)
 		res.Frontiers = append(res.Frontiers, exact)
 		res.FrontierCounts = append(res.FrontierCounts, man.SatCount(newSet))
+		if pre.Aborted {
+			// The partial layer's states are genuine (all prior frontiers
+			// were exact, so they sit at distance step+1), but iterating
+			// from a truncated frontier would assign wrong distances —
+			// merge it and stop.
+			break
+		}
 	}
 	res.All = man.ISOP(visited, stateSpace)
 	res.AllCount = man.SatCount(visited)

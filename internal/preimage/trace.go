@@ -5,6 +5,7 @@ import (
 	"math/big"
 
 	"allsatpre/internal/bdd"
+	"allsatpre/internal/budget"
 	"allsatpre/internal/circuit"
 	"allsatpre/internal/cube"
 	"allsatpre/internal/lit"
@@ -13,8 +14,12 @@ import (
 )
 
 // ForwardReach iterates Image from the initial set until a fixpoint or
-// maxSteps image computations — the forward dual of Reach.
+// maxSteps image computations — the forward dual of Reach, with the same
+// budget semantics: one shared allowance, no fixpoint claims from
+// truncated layers.
 func ForwardReach(c *circuit.Circuit, init *cube.Cover, maxSteps int, opts Options) (*ReachResult, error) {
+	opts.Budget = opts.Budget.Materialize()
+	runStats := opts.Stats
 	stateSpace := StateSpace(c)
 	man := bdd.NewOrdered(stateSpace.Vars())
 
@@ -31,6 +36,9 @@ func ForwardReach(c *circuit.Circuit, init *cube.Cover, maxSteps int, opts Optio
 			res.Fixpoint = true
 			break
 		}
+		if runStats != nil {
+			opts.Stats = runStats.Phase(fmt.Sprintf("step%02d", step))
+		}
 		img, err := Image(c, frontier, opts)
 		if err != nil {
 			return nil, err
@@ -40,16 +48,27 @@ func ForwardReach(c *circuit.Circuit, init *cube.Cover, maxSteps int, opts Optio
 		if img.BDDNodes > res.BDDNodes {
 			res.BDDNodes = img.BDDNodes
 		}
+		if img.Aborted {
+			res.Aborted = true
+			if res.AbortReason == budget.None {
+				res.AbortReason = img.AbortReason
+			}
+		}
 		imgSet := man.FromCover(img.States)
 		newSet := man.Diff(imgSet, visited)
 		if newSet == bdd.False {
-			res.Fixpoint = true
+			if !img.Aborted {
+				res.Fixpoint = true
+			}
 			break
 		}
 		visited = man.Or(visited, newSet)
 		frontier = man.ISOP(newSet, stateSpace)
 		res.Frontiers = append(res.Frontiers, frontier)
 		res.FrontierCounts = append(res.FrontierCounts, man.SatCount(newSet))
+		if img.Aborted {
+			break
+		}
 	}
 	res.All = man.ISOP(visited, stateSpace)
 	res.AllCount = man.SatCount(visited)
@@ -79,8 +98,15 @@ type CheckResult struct {
 	Steps int
 	// Complete is true when the answer is definitive: either a trace was
 	// found, or the backward fixpoint proves unreachability. It is false
-	// only when maxSteps cut the iteration short.
+	// when maxSteps or a resource budget cut the iteration short.
 	Complete bool
+	// Aborted is true when a resource budget (not the maxSteps
+	// parameter) ended the search before a verdict; AbortReason says
+	// which limit tripped. A REACHABLE verdict is still trusted even if
+	// some layer was truncated — every state in a partial layer is a
+	// genuine predecessor — but no unreachability proof is possible.
+	Aborted     bool
+	AbortReason budget.Reason
 	// Invariant, on a complete UNREACHABLE verdict, is an inductive
 	// invariant certifying it: a state cover that contains init, excludes
 	// bad, and is closed under the transition relation (its image is
@@ -121,6 +147,7 @@ func VerifyInvariant(c *circuit.Circuit, init, bad, inv *cube.Cover, opts Option
 // unbounded model-checking loop) and, on success, extracting a concrete
 // input trace with one SAT query per step.
 func CheckReachable(c *circuit.Circuit, init, bad *cube.Cover, maxSteps int, opts Options) (*CheckResult, error) {
+	opts.Budget = opts.Budget.Materialize()
 	stateSpace := StateSpace(c)
 	man := bdd.NewOrdered(stateSpace.Vars())
 	initSet := man.FromCover(canonicalize(stateSpace, init))
@@ -148,6 +175,14 @@ func CheckReachable(c *circuit.Circuit, init, bad *cube.Cover, maxSteps int, opt
 		preSet := man.FromCover(pre.States)
 		newSet := man.Diff(preSet, visited)
 		if newSet == bdd.False {
+			if pre.Aborted {
+				// A truncated layer that happens to add nothing proves
+				// nothing: the missing predecessors may be exactly the
+				// ones reaching init.
+				return &CheckResult{
+					Steps: steps, Aborted: true, AbortReason: pre.AbortReason,
+				}, nil
+			}
 			inv := man.ISOP(man.Not(visited), stateSpace)
 			return &CheckResult{Steps: steps, Complete: true, Invariant: inv}, nil
 		}
@@ -155,7 +190,13 @@ func CheckReachable(c *circuit.Circuit, init, bad *cube.Cover, maxSteps int, opt
 		layers = append(layers, newSet)
 		frontier = man.ISOP(newSet, stateSpace)
 		if man.And(initSet, newSet) != bdd.False {
+			// Sound even from a truncated layer: every state in a partial
+			// preimage is a genuine predecessor, so the trace exists.
 			hitLayer = len(layers) - 1
+		} else if pre.Aborted {
+			return &CheckResult{
+				Steps: steps, Aborted: true, AbortReason: pre.AbortReason,
+			}, nil
 		}
 	}
 

@@ -2,6 +2,7 @@ package preimage
 
 import (
 	"allsatpre/internal/allsat"
+	"allsatpre/internal/budget"
 	"allsatpre/internal/circuit"
 	"allsatpre/internal/cube"
 	"allsatpre/internal/trans"
@@ -26,14 +27,20 @@ type WitnessIterator struct {
 }
 
 // NewWitnessIterator prepares a streaming enumeration of the (state,
-// input) pairs whose successor lies in target.
+// input) pairs whose successor lies in target. The budget in opts bounds
+// the iteration; a tripped limit ends it early with Aborted reporting
+// true.
 func NewWitnessIterator(c *circuit.Circuit, target *cube.Cover, opts Options) (*WitnessIterator, error) {
 	inst, err := trans.NewInstance(c, target)
 	if err != nil {
 		return nil, err
 	}
+	as := opts.AllSAT
+	if as.Budget.IsZero() {
+		as.Budget = opts.Budget.Materialize()
+	}
 	return &WitnessIterator{
-		it: allsat.NewIterator(inst.F, inst.FullSpace, opts.AllSAT, true),
+		it: allsat.NewIterator(inst.F, inst.FullSpace, as, true),
 		nL: len(inst.StateVars),
 		nI: len(inst.InputVars),
 	}, nil
@@ -55,3 +62,11 @@ func (wi *WitnessIterator) Next() (Witness, bool) {
 
 // Stats reports the underlying search counters.
 func (wi *WitnessIterator) Stats() allsat.Stats { return wi.it.Stats() }
+
+// Aborted reports whether a resource limit cut the iteration short; the
+// witnesses seen so far are then a subset of the preimage pairs.
+func (wi *WitnessIterator) Aborted() bool { return wi.it.Aborted() }
+
+// AbortReason reports which limit ended the iteration (budget.None when
+// it ran to exhaustion or is still running).
+func (wi *WitnessIterator) AbortReason() budget.Reason { return wi.it.Reason() }

@@ -3,18 +3,30 @@ package sat
 import (
 	"sort"
 
+	"allsatpre/internal/budget"
 	"allsatpre/internal/lit"
 )
 
 // Solve determines satisfiability of the current clause set under the given
 // assumption literals. On Sat, Model reports the assignment; on Unsat under
 // assumptions, Conflict reports a sufficient subset of failed assumptions.
-// Unknown is returned only when Options.MaxConflicts is exceeded.
+// Unknown is returned only when a resource limit — Options.MaxConflicts or
+// the Options.Budget — is exceeded; StopReason then tells which one.
 func (s *Solver) Solve(assumptions ...lit.Lit) Status {
 	s.cancelUntil(0)
 	s.conflictOut = s.conflictOut[:0]
+	s.stopReason = budget.None
 	if !s.okay {
 		return Unsat
+	}
+	if s.check == nil && !s.opts.Budget.IsZero() {
+		s.check = s.opts.Budget.Start()
+	}
+	if s.check != nil {
+		if r := s.check.Now(); r != budget.None {
+			s.stopReason = r
+			return Unknown
+		}
 	}
 	for _, a := range assumptions {
 		if int(a.Var()) >= len(s.assign) {
@@ -31,8 +43,8 @@ func (s *Solver) Solve(assumptions ...lit.Lit) Status {
 	var curRestart uint64 = 1
 	conflictsAtStart := s.stats.Conflicts
 	for {
-		budget := s.opts.RestartBase * luby(curRestart)
-		st := s.search(budget, conflictsAtStart)
+		restartCap := s.opts.RestartBase * luby(curRestart)
+		st := s.search(restartCap, conflictsAtStart)
 		if st != Unknown {
 			if st == Sat {
 				// Snapshot the model before backtracking erases it.
@@ -44,13 +56,38 @@ func (s *Solver) Solve(assumptions ...lit.Lit) Status {
 			s.cancelUntil(0)
 			return st
 		}
-		if s.opts.MaxConflicts > 0 && s.stats.Conflicts-conflictsAtStart >= s.opts.MaxConflicts {
+		if s.stopReason != budget.None {
 			s.cancelUntil(0)
 			return Unknown
 		}
 		curRestart++
 		s.stats.Restarts++
 	}
+}
+
+// limitExceeded checks the per-call conflict cap and the cumulative budget
+// caps, recording the stop reason when one trips. conflictsAtStart anchors
+// the per-call cap.
+func (s *Solver) limitExceeded(conflictsAtStart uint64) bool {
+	if s.opts.MaxConflicts > 0 && s.stats.Conflicts-conflictsAtStart >= s.opts.MaxConflicts {
+		s.stopReason = budget.Conflicts
+		return true
+	}
+	if b := s.opts.Budget.MaxConflicts; b > 0 && s.stats.Conflicts >= b {
+		s.stopReason = budget.Conflicts
+		return true
+	}
+	if b := s.opts.Budget.MaxDecisions; b > 0 && s.stats.Decisions >= b {
+		s.stopReason = budget.Decisions
+		return true
+	}
+	if s.check != nil {
+		if r := s.check.Poll(); r != budget.None {
+			s.stopReason = r
+			return true
+		}
+	}
+	return false
 }
 
 // search runs CDCL until a result, a restart budget of nConflicts, or the
@@ -91,12 +128,12 @@ func (s *Solver) search(nConflicts, conflictsAtStart uint64) Status {
 		}
 
 		// No conflict.
+		if s.limitExceeded(conflictsAtStart) {
+			return Unknown
+		}
 		if conflictsHere >= nConflicts {
 			s.cancelUntil(s.baseLevel())
 			return Unknown // restart
-		}
-		if s.opts.MaxConflicts > 0 && s.stats.Conflicts-conflictsAtStart >= s.opts.MaxConflicts {
-			return Unknown
 		}
 		if float64(len(s.learnts)) >= s.maxLearnts+float64(len(s.trail)) {
 			s.reduceDB()

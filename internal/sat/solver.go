@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"allsatpre/internal/budget"
 	"allsatpre/internal/cnf"
 	"allsatpre/internal/lit"
 )
@@ -60,6 +61,10 @@ type Options struct {
 	// MaxConflicts bounds a single Solve call; 0 means unbounded. When
 	// exceeded, Solve returns Unknown.
 	MaxConflicts uint64
+	// Budget imposes cross-call resource limits (deadline, cancellation,
+	// cumulative conflict/decision caps). When it trips, Solve returns
+	// Unknown and StopReason reports why. The zero Budget is unbounded.
+	Budget budget.Budget
 }
 
 // DefaultOptions returns the standard tuning.
@@ -112,14 +117,23 @@ type Solver struct {
 	analyzeStack []lit.Lit
 	analyzeToClr []lit.Lit
 
+	check      *budget.Checker // live budget checker, nil when unbounded
+	stopReason budget.Reason   // why the last Solve returned Unknown
+
 	stats Stats
 }
 
 // New creates a solver with the given options (zero value → defaults).
+// Resource limits (MaxConflicts, Budget) survive the default substitution:
+// they are caps, not tuning, so leaving VarDecay unset must not erase them.
 func New(opts Options) *Solver {
 	if opts.VarDecay == 0 {
+		maxConflicts, bud := opts.MaxConflicts, opts.Budget
 		opts = DefaultOptions()
+		opts.MaxConflicts = maxConflicts
+		opts.Budget = bud
 	}
+	opts.Budget = opts.Budget.Materialize()
 	s := &Solver{
 		opts:   opts,
 		varInc: 1.0,
@@ -155,6 +169,19 @@ func (s *Solver) NumLearnts() int { return len(s.learnts) }
 
 // Stats returns a copy of the cumulative statistics.
 func (s *Solver) Stats() Stats { return s.stats }
+
+// SetBudget replaces the solver's resource budget. Relative timeouts are
+// materialized into an absolute deadline immediately, so the clock starts
+// now, not at the next Solve — call this at the outermost entry point and
+// let every subsequent Solve share the same allowance.
+func (s *Solver) SetBudget(b budget.Budget) {
+	s.opts.Budget = b.Materialize()
+	s.check = nil // rebuilt on the next Solve
+}
+
+// StopReason reports why the most recent Solve returned Unknown
+// (budget.None after a Sat/Unsat answer or before any Solve).
+func (s *Solver) StopReason() budget.Reason { return s.stopReason }
 
 // Okay reports whether the clause set is still possibly satisfiable; it
 // becomes false permanently after a top-level conflict.

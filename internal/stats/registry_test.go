@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegistryCountersAndPhases(t *testing.T) {
+	r := NewRegistry("run")
+	r.Counter("decisions").Add(10)
+	r.Counter("decisions").Add(5)
+	r.Counter("conflicts").Inc()
+	r.SetGauge("bdd-nodes", 42)
+	r.MaxGauge("peak", 7)
+	r.MaxGauge("peak", 3)
+	r.AddDuration("time", 1500*time.Microsecond)
+	p := r.Phase("step00")
+	p.Counter("cubes").Add(2)
+	// Same phase name returns the same sub-registry.
+	if r.Phase("step00") != p {
+		t.Fatal("Phase not idempotent")
+	}
+
+	s := r.Snapshot()
+	if s.Name != "run" {
+		t.Fatalf("name %q", s.Name)
+	}
+	got := map[string]string{}
+	for _, kv := range s.Metrics {
+		got[kv.Key] = kv.Value
+	}
+	if got["decisions"] != "15" || got["conflicts"] != "1" ||
+		got["bdd-nodes"] != "42" || got["peak"] != "7" {
+		t.Fatalf("bad metrics %v", got)
+	}
+	if len(s.Phases) != 1 || s.Phases[0].Name != "step00" {
+		t.Fatalf("bad phases %v", s.Phases)
+	}
+	if s.Phases[0].Metrics[0].Key != "cubes" || s.Phases[0].Metrics[0].Value != "2" {
+		t.Fatalf("bad phase metrics %v", s.Phases[0].Metrics)
+	}
+}
+
+func TestSnapshotMetricsSorted(t *testing.T) {
+	r := NewRegistry("x")
+	r.Counter("zz").Inc()
+	r.Counter("aa").Inc()
+	r.Counter("mm").Inc()
+	s := r.Snapshot()
+	for i := 1; i < len(s.Metrics); i++ {
+		if s.Metrics[i-1].Key > s.Metrics[i].Key {
+			t.Fatalf("metrics not sorted: %v", s.Metrics)
+		}
+	}
+}
+
+func TestSnapshotJSONValid(t *testing.T) {
+	r := NewRegistry("run")
+	r.Counter("decisions").Add(3)
+	r.Phase("phase \"quoted\"").Counter("odd\nkey").Add(1)
+	var sb strings.Builder
+	r.Snapshot().WriteJSON(&sb)
+	var out map[string]interface{}
+	if err := json.Unmarshal([]byte(sb.String()), &out); err != nil {
+		t.Fatalf("invalid JSON %q: %v", sb.String(), err)
+	}
+	if out["decisions"] != "3" {
+		t.Fatalf("decisions = %v", out["decisions"])
+	}
+	if _, ok := out[`phase "quoted"`].(map[string]interface{}); !ok {
+		t.Fatalf("phase missing in %v", out)
+	}
+}
+
+func TestSnapshotTextRendering(t *testing.T) {
+	r := NewRegistry("run")
+	r.Counter("cubes").Add(9)
+	r.Phase("step01").Counter("hits").Add(4)
+	text := r.Snapshot().String()
+	for _, want := range []string{"[run]", "cubes", "9", "[step01]", "hits"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("text %q missing %q", text, want)
+		}
+	}
+}
+
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := NewRegistry("race")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("n").Inc()
+				r.Phase("p").Counter("m").Inc()
+				r.MaxGauge("g", int64(g*1000+i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.Counter("n").Load(); got != 8000 {
+		t.Fatalf("n = %d, want 8000", got)
+	}
+	if got := r.Phase("p").Counter("m").Load(); got != 8000 {
+		t.Fatalf("m = %d, want 8000", got)
+	}
+}
+
+func TestHandlerServesJSON(t *testing.T) {
+	r := NewRegistry("srv")
+	r.Counter("hits").Add(2)
+	req := httptest.NewRequest("GET", "/debug/stats", nil)
+	w := httptest.NewRecorder()
+	r.Handler().ServeHTTP(w, req)
+	if ct := w.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var out map[string]interface{}
+	if err := json.Unmarshal(w.Body.Bytes(), &out); err != nil {
+		t.Fatalf("bad body %q: %v", w.Body.String(), err)
+	}
+	if out["hits"] != "2" {
+		t.Fatalf("hits = %v", out["hits"])
+	}
+}
