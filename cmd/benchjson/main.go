@@ -1,0 +1,244 @@
+// Command benchjson converts `go test -bench` output (read on stdin)
+// into the BENCH_*.json format committed as the repository's performance
+// trajectory (see scripts/bench.sh and README "Benchmarks").
+//
+// The document keeps the raw benchmark lines verbatim under "raw", so a
+// recorded run stays benchstat-compatible: extract them with
+//
+//	jq -r '.current.raw[]' BENCH_1.json > new.txt
+//	jq -r '.baseline.raw[]' BENCH_1.json > old.txt
+//	benchstat old.txt new.txt
+//
+// and it parses every metric pair (ns/op, B/op, allocs/op, custom units)
+// into numbers so scripts can assert on deltas without a bench parser.
+//
+// Usage:
+//
+//	go test -run '^$' -bench Table -benchmem . | benchjson -label $(git rev-parse --short HEAD) -o BENCH_1.json
+//	... -baseline old.json    # embed old.json's run as "baseline" and report deltas
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the benchmark name without the "Benchmark" prefix, with the
+	// -GOMAXPROCS suffix kept (benchstat keys on the same string).
+	Name string `json:"name"`
+	// Iterations is b.N for the recorded run.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit -> value, e.g. "ns/op", "B/op", "allocs/op",
+	// plus any custom b.ReportMetric units such as "states".
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Run is one recorded benchmark invocation.
+type Run struct {
+	Label      string      `json:"label,omitempty"` // e.g. the git commit
+	Date       string      `json:"date,omitempty"`
+	GoOS       string      `json:"goos,omitempty"`
+	GoArch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+	Raw        []string    `json:"raw"` // verbatim lines, benchstat input
+}
+
+// Delta compares one benchmark between the baseline and current runs.
+// Negative percentages are improvements (less time / fewer allocations).
+type Delta struct {
+	Name         string  `json:"name"`
+	NsPerOpPct   float64 `json:"ns_per_op_pct"`
+	AllocsOpPct  float64 `json:"allocs_per_op_pct"`
+	BytesPerOpPc float64 `json:"bytes_per_op_pct"`
+}
+
+// Document is the top-level BENCH_*.json shape. A first recording has
+// only "current"; later recordings carry the prior run as "baseline".
+type Document struct {
+	Schema   string  `json:"schema"`
+	Baseline *Run    `json:"baseline,omitempty"`
+	Current  *Run    `json:"current"`
+	Deltas   []Delta `json:"deltas,omitempty"`
+}
+
+func main() {
+	label := flag.String("label", "", "label for this run (e.g. git commit)")
+	baseline := flag.String("baseline", "", "prior BENCH_*.json whose current run becomes this document's baseline")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	cur, err := parseRun(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	cur.Label = *label
+	cur.Date = time.Now().UTC().Format(time.RFC3339)
+
+	doc := &Document{Schema: "allsatpre-bench/v1", Current: cur}
+	if *baseline != "" {
+		base, err := loadRun(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		doc.Baseline = base
+		doc.Deltas = deltas(base, cur)
+	}
+
+	var w *os.File = os.Stdout
+	if *out != "" {
+		w, err = os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer w.Close()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseRun reads `go test -bench` output and collects header metadata and
+// benchmark result lines.
+func parseRun(f *os.File) (*Run, error) {
+	run := &Run{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			run.GoOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			run.GoArch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			run.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			run.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseBenchLine(line)
+			if !ok {
+				continue
+			}
+			run.Benchmarks = append(run.Benchmarks, b)
+			run.Raw = append(run.Raw, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(run.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines on stdin")
+	}
+	return run, nil
+}
+
+// parseBenchLine parses "BenchmarkX/sub-8  10  123 ns/op  4 B/op ...".
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{
+		Name:       strings.TrimPrefix(fields[0], "Benchmark"),
+		Iterations: iters,
+		Metrics:    map[string]float64{},
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}
+
+// loadRun reads a prior BENCH_*.json (or a bare Run document) and returns
+// the run to use as baseline: a Document's "current", else the Run itself.
+func loadRun(path string) (*Run, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc Document
+	if err := json.Unmarshal(data, &doc); err == nil && doc.Current != nil {
+		return doc.Current, nil
+	}
+	var run Run
+	if err := json.Unmarshal(data, &run); err != nil {
+		return nil, fmt.Errorf("%s: not a BENCH document: %w", path, err)
+	}
+	return &run, nil
+}
+
+// deltas pairs baseline and current benchmarks by name. When a run holds
+// several samples of the same name (-count > 1), the minimum of each
+// metric is compared — the usual "best of N" noise reduction.
+func deltas(base, cur *Run) []Delta {
+	bm := collect(base)
+	var out []Delta
+	seen := map[string]bool{}
+	for _, b := range cur.Benchmarks {
+		if seen[b.Name] {
+			continue
+		}
+		seen[b.Name] = true
+		old, ok := bm[b.Name]
+		if !ok {
+			continue
+		}
+		curMin := collect(cur)[b.Name]
+		out = append(out, Delta{
+			Name:         b.Name,
+			NsPerOpPct:   pct(old["ns/op"], curMin["ns/op"]),
+			AllocsOpPct:  pct(old["allocs/op"], curMin["allocs/op"]),
+			BytesPerOpPc: pct(old["B/op"], curMin["B/op"]),
+		})
+	}
+	return out
+}
+
+// collect folds a run's samples into per-name minima of each metric.
+func collect(r *Run) map[string]map[string]float64 {
+	m := map[string]map[string]float64{}
+	for _, b := range r.Benchmarks {
+		cur, ok := m[b.Name]
+		if !ok {
+			cur = map[string]float64{}
+			m[b.Name] = cur
+		}
+		for unit, v := range b.Metrics {
+			if old, ok := cur[unit]; !ok || v < old {
+				cur[unit] = v
+			}
+		}
+	}
+	return m
+}
+
+func pct(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (new - old) / old * 100
+}

@@ -2,9 +2,15 @@
 // evaluation (DESIGN.md §4) and prints them. Use -only to run a subset
 // and -csv for machine-readable output.
 //
+// With -stats, the final report includes the BDD kernel gauges recorded
+// per engine run (DESIGN.md §kernel): unique-table load factor and mean
+// probe length (kernel-load-factor, kernel-avg-probes), rehash count, and
+// apply-cache lookups/hits/evictions and occupancy — the numbers behind
+// the scripts/bench.sh trajectory.
+//
 // Usage:
 //
-//	experiments [-only table1,fig2] [-csv] [-steps N]
+//	experiments [-only table1,fig2] [-csv] [-steps N] [-stats]
 package main
 
 import (

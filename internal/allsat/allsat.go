@@ -42,11 +42,15 @@ type Stats struct {
 	LiftedFree uint64
 	// Decisions/Propagations/Conflicts come from the underlying search.
 	Decisions, Propagations, Conflicts uint64
-	// CacheLookups/CacheHits count success-driven memo activity.
-	CacheLookups, CacheHits uint64
+	// CacheLookups/CacheHits/CacheClears count success-driven memo
+	// activity; a clear is a wholesale memo reset at the memo bound.
+	CacheLookups, CacheHits, CacheClears uint64
 	// BDDNodes is the node count of the solution BDD (success-driven) or
 	// of the counting BDD (blocking engines).
 	BDDNodes int
+	// Kernel snapshots the BDD manager's unique-table and apply-cache
+	// gauges for the run (merged across managers when several are used).
+	Kernel bdd.KernelStats
 }
 
 // Result is the outcome of an enumeration.
@@ -84,11 +88,11 @@ type Options struct {
 }
 
 // countCover computes the exact minterm count of a cover by building its
-// BDD over the projection space.
-func countCover(cv *cube.Cover) (*big.Int, int) {
+// BDD over the projection space, reporting the manager's kernel gauges.
+func countCover(cv *cube.Cover) (*big.Int, int, bdd.KernelStats) {
 	m := bdd.NewOrdered(cv.Space().Vars())
 	f := m.FromCover(cv)
-	return m.SatCount(f), m.NumNodes()
+	return m.SatCount(f), m.NumNodes(), m.Kernel()
 }
 
 // EnumerateBlocking runs the classical blocking-clause all-SAT loop,
@@ -121,6 +125,7 @@ func enumerateWithBlocking(f *cnf.Formula, space *cube.Space, opts Options, lift
 	}
 
 	maxCubes := bud.MergeCubes(opts.MaxCubes)
+	var modelBuf []bool // reused across iterations via ModelBuf
 	for {
 		if maxCubes > 0 && res.Stats.Cubes >= maxCubes {
 			res.Aborted = true
@@ -139,7 +144,8 @@ func enumerateWithBlocking(f *cnf.Formula, space *cube.Space, opts Options, lift
 			break
 		}
 		res.Stats.Solutions++
-		model := s.Model()
+		modelBuf = s.ModelBuf(modelBuf)
+		model := modelBuf
 		var c cube.Cube
 		if lift {
 			c = lifter.lift(model)
@@ -173,7 +179,9 @@ func enumerateWithBlocking(f *cnf.Formula, space *cube.Space, opts Options, lift
 	res.Stats.Decisions = ss.Decisions
 	res.Stats.Propagations = ss.Propagations
 	res.Stats.Conflicts = ss.Conflicts
-	res.Count, res.Stats.BDDNodes = countCover(res.Cover)
+	var kernel bdd.KernelStats
+	res.Count, res.Stats.BDDNodes, kernel = countCover(res.Cover)
+	res.Stats.Kernel.Merge(kernel)
 	return res
 }
 

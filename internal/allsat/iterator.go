@@ -13,12 +13,13 @@ import (
 // without an up-front cube cap. It drives the blocking loop — optionally
 // with lifting — underneath.
 type Iterator struct {
-	s      *sat.Solver
-	space  *cube.Space
-	lifter *modelLifter
-	done   bool
-	reason budget.Reason // why enumeration stopped early, None if exhausted
-	stats  Stats
+	s        *sat.Solver
+	space    *cube.Space
+	lifter   *modelLifter
+	modelBuf []bool // reused across Next calls via ModelBuf
+	done     bool
+	reason   budget.Reason // why enumeration stopped early, None if exhausted
+	stats    Stats
 }
 
 // NewIterator prepares an iterator over the solutions of f projected onto
@@ -57,7 +58,8 @@ func (it *Iterator) Next() (cube.Cube, bool) {
 		return nil, false
 	}
 	it.stats.Solutions++
-	model := it.s.Model()
+	it.modelBuf = it.s.ModelBuf(it.modelBuf)
+	model := it.modelBuf
 	var c cube.Cube
 	if it.lifter != nil {
 		c = it.lifter.lift(model)

@@ -36,13 +36,10 @@ type node struct {
 	low, high Ref
 }
 
-type opKey struct {
-	op      uint8
-	a, b, c Ref
-}
-
 const (
 	opITE uint8 = iota
+	opAnd
+	opOr
 	opExists
 	opForall
 	opAndExists
@@ -50,25 +47,28 @@ const (
 )
 
 // DefaultCacheLimit is the apply-cache entry cap installed on new
-// managers: past it the cache is cleared wholesale (clear-on-threshold),
-// bounding memory on long reachability runs at the price of recomputing
-// warm entries. Tune per manager with SetCacheLimit.
+// managers. The cache is a fixed-size direct-mapped array that starts
+// small and doubles alongside unique-table growth, never past this many
+// slots; colliding entries overwrite each other (lossy), so the cap
+// bounds memory on long reachability runs at the price of recomputing
+// evicted entries. Tune per manager with SetCacheLimit.
 const DefaultCacheLimit = 1 << 21
+
+// defaultUniqueBits sizes a fresh manager's unique table (2^bits slots).
+// Kept small so the many short-lived managers (one per counting call)
+// stay allocation-lean; the table doubles at 3/4 load.
+const defaultUniqueBits = 8
 
 // Manager owns a node table and operation caches for one variable order.
 type Manager struct {
 	nodes    []node
-	unique   map[node]Ref
-	cache    map[opKey]Ref
-	order    []lit.Var // level -> variable
-	varLevel []int32   // variable -> level, -1 if unknown
+	unique   uniqueTable // open-addressed (level, low, high) -> Ref index
+	cache    applyCache  // direct-mapped memo for the apply recursions
+	order    []lit.Var   // level -> variable
+	varLevel []int32     // variable -> level, -1 if unknown
 
-	// Apply-cache governance: the cache is cleared whenever it grows past
-	// cacheLimit entries (0 = unbounded); the counters feed stats.
-	cacheLimit   int
-	cacheLookups uint64
-	cacheHits    uint64
-	cacheClears  uint64
+	// cacheLimit caps the apply cache's slot count (see SetCacheLimit).
+	cacheLimit int
 
 	// Resource limits (see SetLimits): exceeding them aborts the current
 	// operation by panicking with *Abort, recovered by CatchAbort.
@@ -108,38 +108,40 @@ func CatchAbort(reason *budget.Reason) {
 }
 
 // SetCacheLimit caps the apply cache at n entries (n <= 0 removes the
-// cap). The cache is cleared, not shrunk, when the cap is exceeded.
+// cap, leaving the built-in hard ceiling). The cache is direct-mapped, so
+// the cap is realized as a power-of-two slot count not exceeding n; a
+// shrink reallocates immediately, while a raise takes effect as the cache
+// doubles alongside unique-table growth.
 func (m *Manager) SetCacheLimit(n int) {
 	if n < 0 {
 		n = 0
 	}
 	m.cacheLimit = n
-}
-
-// CacheStats reports apply-cache activity: lookups, hits, wholesale
-// clears forced by the entry cap, and the current entry count.
-func (m *Manager) CacheStats() (lookups, hits, clears uint64, size int) {
-	return m.cacheLookups, m.cacheHits, m.cacheClears, len(m.cache)
-}
-
-// cacheGet is the instrumented apply-cache probe.
-func (m *Manager) cacheGet(key opKey) (Ref, bool) {
-	m.cacheLookups++
-	r, ok := m.cache[key]
-	if ok {
-		m.cacheHits++
+	if cap := cacheSlotsFor(n); len(m.cache.entries) > cap {
+		m.cache.resize(cap)
 	}
-	return r, ok
 }
 
-// cachePut inserts an apply-cache entry, clearing the whole cache first
-// when it has grown past the limit.
-func (m *Manager) cachePut(key opKey, r Ref) {
-	if m.cacheLimit > 0 && len(m.cache) >= m.cacheLimit {
-		m.cache = make(map[opKey]Ref)
-		m.cacheClears++
+// ClearCache invalidates every apply-cache entry in O(1) via a
+// generation bump. Kernel bookkeeping only — never needed for
+// correctness, since the cache is already lossy.
+func (m *Manager) ClearCache() { m.cache.invalidate() }
+
+// CacheStats reports apply-cache activity: lookups, hits, evictions
+// (live entries overwritten by a colliding key — the direct-mapped
+// analogue of the old wholesale clears), and the current occupancy.
+func (m *Manager) CacheStats() (lookups, hits, evictions uint64, size int) {
+	return m.cache.lookups, m.cache.hits, m.cache.evictions, m.cache.size
+}
+
+// growCache doubles the apply cache in step with unique-table rehashes,
+// keeping its reach proportional to the node population without paying
+// for a large array on managers that stay small.
+func (m *Manager) growCache() {
+	n := len(m.cache.entries)
+	if n*2 <= cacheSlotsFor(m.cacheLimit) && n < len(m.unique.slots) {
+		m.cache.resize(n * 2)
 	}
-	m.cache[key] = r
 }
 
 // New creates a manager over n variables with the identity order
@@ -155,12 +157,22 @@ func New(n int) *Manager {
 // NewOrdered creates a manager whose variable order is the given list
 // (first entry at the top). Every variable used in operations must appear.
 func NewOrdered(order []lit.Var) *Manager {
+	return newOrdered(order, defaultUniqueBits)
+}
+
+// newOrdered is NewOrdered with an explicit initial unique-table size
+// (2^uniqueBits slots); tests use tiny tables to force rehashes early.
+func newOrdered(order []lit.Var, uniqueBits int) *Manager {
 	m := &Manager{
-		unique:     make(map[node]Ref),
-		cache:      make(map[opKey]Ref),
 		order:      append([]lit.Var(nil), order...),
 		cacheLimit: DefaultCacheLimit,
 	}
+	m.unique.init(uniqueBits)
+	cacheSlots := minCacheSlots
+	if cap := cacheSlotsFor(m.cacheLimit); cap < cacheSlots {
+		cacheSlots = cap
+	}
+	m.cache.init(cacheSlots)
 	maxVar := lit.Var(-1)
 	for _, v := range order {
 		if v > maxVar {
@@ -210,13 +222,15 @@ func (m *Manager) level(r Ref) int32 { return m.nodes[r].level }
 
 // mk returns the canonical node (level, low, high), applying the ROBDD
 // reduction rules. It is the single point through which every node is
-// created, so the budget limits are enforced here.
+// created, so the budget limits are enforced here — after the unique-table
+// hit check (a hit allocates nothing and must stay abort-free) and before
+// any mutation, so an abort never leaves a half-inserted node behind.
 func (m *Manager) mk(level int32, low, high Ref) Ref {
 	if low == high {
 		return low
 	}
-	n := node{level: level, low: low, high: high}
-	if r, ok := m.unique[n]; ok {
+	r, slot, ok := m.unique.find(m.nodes, level, low, high)
+	if ok {
 		return r
 	}
 	if m.maxNodes > 0 && len(m.nodes) >= m.maxNodes {
@@ -227,9 +241,14 @@ func (m *Manager) mk(level int32, low, high Ref) Ref {
 			panic(&Abort{Reason: reason})
 		}
 	}
-	r := Ref(len(m.nodes))
-	m.nodes = append(m.nodes, n)
-	m.unique[n] = r
+	if m.unique.needGrow(len(m.nodes) - 1) {
+		m.unique.rehash(m.nodes)
+		m.growCache()
+		slot = m.unique.emptySlot(level, low, high)
+	}
+	r = Ref(len(m.nodes))
+	m.nodes = append(m.nodes, node{level: level, low: low, high: high})
+	m.unique.slots[slot] = r
 	return r
 }
 
@@ -278,8 +297,7 @@ func (m *Manager) ITE(f, g, h Ref) Ref {
 	case g == True && h == False:
 		return f
 	}
-	key := opKey{op: opITE, a: f, b: g, c: h}
-	if r, ok := m.cacheGet(key); ok {
+	if r, ok := m.cache.get(opITE, f, g, h); ok {
 		return r
 	}
 	level := m.level(f)
@@ -293,18 +311,69 @@ func (m *Manager) ITE(f, g, h Ref) Ref {
 	g0, g1 := m.cofactors(g, level)
 	h0, h1 := m.cofactors(h, level)
 	r := m.mk(level, m.ITE(f0, g0, h0), m.ITE(f1, g1, h1))
-	m.cachePut(key, r)
+	m.cache.put(opITE, f, g, h, r)
 	return r
 }
 
 // Not returns ¬f.
 func (m *Manager) Not(f Ref) Ref { return m.ITE(f, False, True) }
 
-// And returns f ∧ g.
-func (m *Manager) And(f, g Ref) Ref { return m.ITE(f, g, False) }
+// And returns f ∧ g. It is a specialized binary apply recursion: the two
+// connectives the enumerator and preimage loops actually build skip the
+// generic ITE normalization, and their commuted operand pairs share one
+// cache entry.
+func (m *Manager) And(f, g Ref) Ref {
+	switch {
+	case f == g || g == True:
+		return f
+	case f == True:
+		return g
+	case f == False || g == False:
+		return False
+	}
+	if g < f {
+		f, g = g, f
+	}
+	if r, ok := m.cache.get(opAnd, f, g, 0); ok {
+		return r
+	}
+	level := m.level(f)
+	if l := m.level(g); l < level {
+		level = l
+	}
+	f0, f1 := m.cofactors(f, level)
+	g0, g1 := m.cofactors(g, level)
+	r := m.mk(level, m.And(f0, g0), m.And(f1, g1))
+	m.cache.put(opAnd, f, g, 0, r)
+	return r
+}
 
-// Or returns f ∨ g.
-func (m *Manager) Or(f, g Ref) Ref { return m.ITE(f, True, g) }
+// Or returns f ∨ g (specialized like And).
+func (m *Manager) Or(f, g Ref) Ref {
+	switch {
+	case f == g || g == False:
+		return f
+	case f == False:
+		return g
+	case f == True || g == True:
+		return True
+	}
+	if g < f {
+		f, g = g, f
+	}
+	if r, ok := m.cache.get(opOr, f, g, 0); ok {
+		return r
+	}
+	level := m.level(f)
+	if l := m.level(g); l < level {
+		level = l
+	}
+	f0, f1 := m.cofactors(f, level)
+	g0, g1 := m.cofactors(g, level)
+	r := m.mk(level, m.Or(f0, g0), m.Or(f1, g1))
+	m.cache.put(opOr, f, g, 0, r)
+	return r
+}
 
 // Xor returns f ⊕ g.
 func (m *Manager) Xor(f, g Ref) Ref { return m.ITE(f, m.Not(g), g) }

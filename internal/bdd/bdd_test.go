@@ -573,3 +573,20 @@ func TestNumNodesMonotone(t *testing.T) {
 		t.Fatal("VarAtLevel/Level inverse")
 	}
 }
+
+func TestSatCountWideManagerUsesBigPath(t *testing.T) {
+	// 70 variables exercises the big.Int fallback; 3 of 8 assignments over
+	// the 3-var support, times 2^67 free variables.
+	m := New(70)
+	f := m.And(m.Var(0), m.Or(m.Var(1), m.NVar(2)))
+	want := new(big.Int).Lsh(big.NewInt(3), 67)
+	if got := m.SatCount(f); got.Cmp(want) != 0 {
+		t.Fatalf("SatCount = %v, want %v", got, want)
+	}
+	// The two paths must agree on the same function where both apply.
+	small := New(10)
+	sf := small.And(small.Var(0), small.Or(small.Var(1), small.NVar(2)))
+	if got, want := small.SatCount(sf), small.satCountBig(sf, 10); got.Cmp(want) != 0 {
+		t.Fatalf("uint64 path %v != big path %v", got, want)
+	}
+}

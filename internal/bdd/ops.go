@@ -41,8 +41,7 @@ func (m *Manager) quant(f, c Ref, op uint8) Ref {
 	if c == True {
 		return f
 	}
-	key := opKey{op: op, a: f, b: c}
-	if r, ok := m.cacheGet(key); ok {
+	if r, ok := m.cache.get(op, f, c, 0); ok {
 		return r
 	}
 	n := m.nodes[f]
@@ -58,7 +57,7 @@ func (m *Manager) quant(f, c Ref, op uint8) Ref {
 	} else {
 		r = m.mk(n.level, lo, hi)
 	}
-	m.cachePut(key, r)
+	m.cache.put(op, f, c, 0, r)
 	return r
 }
 
@@ -88,8 +87,7 @@ func (m *Manager) AndExists(f, g, cubeRef Ref) Ref {
 	if c == True {
 		return m.And(f, g)
 	}
-	key := opKey{op: opAndExists, a: f, b: g, c: c}
-	if r, ok := m.cacheGet(key); ok {
+	if r, ok := m.cache.get(opAndExists, f, g, c); ok {
 		return r
 	}
 	f0, f1 := m.cofactors(f, top)
@@ -106,7 +104,7 @@ func (m *Manager) AndExists(f, g, cubeRef Ref) Ref {
 	} else {
 		r = m.mk(top, m.AndExists(f0, g0, c), m.AndExists(f1, g1, c))
 	}
-	m.cachePut(key, r)
+	m.cache.put(opAndExists, f, g, c, r)
 	return r
 }
 
@@ -127,13 +125,14 @@ func (m *Manager) restrictRec(f Ref, level int32, val bool) Ref {
 		}
 		return n.low
 	}
-	var op uint8 = opCompose // reuse slot; distinguish by c encoding below
-	key := opKey{op: op, a: f, b: Ref(level)*2 + boolRef(val), c: -1}
-	if r, ok := m.cacheGet(key); ok {
+	// Reuse the opCompose slot; the (level, val) pair is packed into the b
+	// operand and c = -1 keeps it disjoint from real compose keys.
+	key := Ref(level)*2 + boolRef(val)
+	if r, ok := m.cache.get(opCompose, f, key, -1); ok {
 		return r
 	}
 	r := m.mk(n.level, m.restrictRec(n.low, level, val), m.restrictRec(n.high, level, val))
-	m.cachePut(key, r)
+	m.cache.put(opCompose, f, key, -1, r)
 	return r
 }
 
@@ -185,8 +184,7 @@ func (m *Manager) constrainRec(f, c Ref) Ref {
 	case f == c:
 		return True
 	}
-	key := opKey{op: opConstrain, a: f, b: c}
-	if r, ok := m.cacheGet(key); ok {
+	if r, ok := m.cache.get(opConstrain, f, c, 0); ok {
 		return r
 	}
 	level := m.level(f)
@@ -206,7 +204,7 @@ func (m *Manager) constrainRec(f, c Ref) Ref {
 		f0, f1 := m.cofactors(f, level)
 		r = m.mk(level, m.constrainRec(f0, c0), m.constrainRec(f1, c1))
 	}
-	m.cachePut(key, r)
+	m.cache.put(opConstrain, f, c, 0, r)
 	return r
 }
 
@@ -270,21 +268,64 @@ func (m *Manager) Size(f Ref) int {
 }
 
 // SatCount returns the exact number of satisfying assignments of f over
-// the manager's full variable set.
+// the manager's full variable set. Managers under 63 variables — every
+// benchmark circuit — take an allocation-free uint64 path; wider ones
+// fall back to big.Int arithmetic over a slice-indexed memo.
 func (m *Manager) SatCount(f Ref) *big.Int {
-	memo := map[Ref]*big.Int{}
-	var rec func(Ref) *big.Int // models over variables strictly below level(r)'s own level, counting r's level itself
-	two := big.NewInt(2)
-	pow := func(k int32) *big.Int {
-		return new(big.Int).Exp(two, big.NewInt(int64(k)), nil)
-	}
 	n := int32(len(m.order))
+	if n < 63 {
+		return new(big.Int).SetUint64(m.satCount64(f, n))
+	}
+	return m.satCountBig(f, n)
+}
+
+// satCount64 counts models with machine words: counts are bounded by
+// 2^n < 2^63, so shifts and sums cannot overflow. The memo stores
+// count+1 per node (0 = absent), one slice allocation total.
+func (m *Manager) satCount64(f Ref, n int32) uint64 {
+	memo := make([]uint64, len(m.nodes))
 	levelOf := func(r Ref) int32 {
 		if l := m.level(r); l != terminalLevel {
 			return l
 		}
 		return n
 	}
+	var rec func(Ref) uint64 // models over variables from r's own level down
+	rec = func(r Ref) uint64 {
+		if r == False {
+			return 0
+		}
+		if r == True {
+			return 1
+		}
+		if c := memo[r]; c != 0 {
+			return c - 1
+		}
+		nd := m.nodes[r]
+		lo := rec(nd.low) << uint(levelOf(nd.low)-nd.level-1)
+		hi := rec(nd.high) << uint(levelOf(nd.high)-nd.level-1)
+		memo[r] = lo + hi + 1
+		return lo + hi
+	}
+	return rec(f) << uint(levelOf(f))
+}
+
+func (m *Manager) satCountBig(f Ref, n int32) *big.Int {
+	memo := make([]*big.Int, len(m.nodes))
+	pows := make([]*big.Int, n+1) // lazily filled powers of two
+	pow := func(k int32) *big.Int {
+		if pows[k] == nil {
+			pows[k] = new(big.Int).Lsh(big.NewInt(1), uint(k))
+		}
+		return pows[k]
+	}
+	levelOf := func(r Ref) int32 {
+		if l := m.level(r); l != terminalLevel {
+			return l
+		}
+		return n
+	}
+	var rec func(Ref) *big.Int // models over variables strictly below level(r)'s own level, counting r's level itself
 	rec = func(r Ref) *big.Int {
 		if r == False {
 			return big.NewInt(0)
@@ -292,13 +333,13 @@ func (m *Manager) SatCount(f Ref) *big.Int {
 		if r == True {
 			return big.NewInt(1)
 		}
-		if c, ok := memo[r]; ok {
+		if c := memo[r]; c != nil {
 			return c
 		}
 		nd := m.nodes[r]
 		lo := new(big.Int).Mul(rec(nd.low), pow(levelOf(nd.low)-nd.level-1))
 		hi := new(big.Int).Mul(rec(nd.high), pow(levelOf(nd.high)-nd.level-1))
-		c := new(big.Int).Add(lo, hi)
+		c := lo.Add(lo, hi)
 		memo[r] = c
 		return c
 	}

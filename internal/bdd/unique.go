@@ -1,0 +1,107 @@
+package bdd
+
+// Open-addressed unique table. The classic Go-map unique table
+// (map[node]Ref) pays struct hashing, bucket overhead, and GC-visible
+// allocations on every growth step; this table is a bare power-of-two
+// slice of node ids probed linearly, in the CUDD lineage. Entries are
+// never deleted individually (nodes are only reclaimed wholesale when the
+// manager is dropped), so no tombstones are needed and probe chains stay
+// short under the 3/4 load-factor bound.
+//
+// Slot encoding: a slot holds the Ref of a node, or 0 for empty. Ref 0 is
+// the False terminal, which is never interned, so 0 is a free sentinel.
+
+// mix64 is the SplitMix64 finalizer: a cheap full-avalanche mixer used
+// for both the unique table and the apply cache.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// nodeHash hashes a (level, low, high) triple. low and high are packed
+// into one 64-bit word and the level is folded in with a fibonacci
+// multiply before the final mix.
+func nodeHash(level int32, low, high Ref) uint64 {
+	x := uint64(uint32(low)) | uint64(uint32(high))<<32
+	x ^= uint64(uint32(level)) * 0x9e3779b97f4a7c15
+	return mix64(x)
+}
+
+// uniqueTable is the open-addressed node index. It borrows the manager's
+// node slice for key comparisons, storing only 4-byte ids itself.
+type uniqueTable struct {
+	slots []Ref
+	mask  uint64
+
+	// Instrumentation for the kernel gauges: lookups is the number of
+	// find calls, probes the total slots inspected across them (their
+	// ratio is the average probe length), rehashes the growth count.
+	lookups  uint64
+	probes   uint64
+	rehashes uint64
+}
+
+// init sizes the table at 2^bits slots, discarding any prior contents.
+func (t *uniqueTable) init(bits int) {
+	t.slots = make([]Ref, 1<<bits)
+	t.mask = uint64(len(t.slots) - 1)
+}
+
+// find probes for (level, low, high). On a hit it returns the canonical
+// ref; on a miss it returns the empty slot index where the node belongs.
+func (t *uniqueTable) find(nodes []node, level int32, low, high Ref) (Ref, uint64, bool) {
+	t.lookups++
+	i := nodeHash(level, low, high) & t.mask
+	for {
+		t.probes++
+		r := t.slots[i]
+		if r == 0 {
+			return 0, i, false
+		}
+		n := &nodes[r]
+		if n.level == level && n.low == low && n.high == high {
+			return r, i, true
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// needGrow reports whether inserting one more node would push the table
+// past its 3/4 load-factor bound. live is the current number of interned
+// nodes (terminals excluded).
+func (t *uniqueTable) needGrow(live int) bool {
+	return uint64(live+1)*4 > uint64(len(t.slots))*3
+}
+
+// rehash doubles the table and reinserts every interned node (ids 2..n;
+// the two terminals live outside the table). No nodes are created here,
+// so a budget abort can never fire mid-rehash — mk checks its limits
+// before calling.
+func (t *uniqueTable) rehash(nodes []node) {
+	t.rehashes++
+	slots := make([]Ref, len(t.slots)*2)
+	mask := uint64(len(slots) - 1)
+	for id := 2; id < len(nodes); id++ {
+		n := &nodes[id]
+		i := nodeHash(n.level, n.low, n.high) & mask
+		for slots[i] != 0 {
+			i = (i + 1) & mask
+		}
+		slots[i] = Ref(id)
+	}
+	t.slots, t.mask = slots, mask
+}
+
+// emptySlot returns the insert position for a node known to be absent —
+// used to re-locate the slot after a rehash invalidated a find result.
+func (t *uniqueTable) emptySlot(level int32, low, high Ref) uint64 {
+	i := nodeHash(level, low, high) & t.mask
+	for t.slots[i] != 0 {
+		i = (i + 1) & t.mask
+	}
+	return i
+}

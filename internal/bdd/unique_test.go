@@ -1,0 +1,130 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+
+	"allsatpre/internal/budget"
+	"allsatpre/internal/lit"
+)
+
+// buildRandom grows a pool of BDDs over n vars by repeatedly combining
+// random pool members with random connectives, driving the unique table
+// through many inserts (and, with a tiny initial table, many rehashes).
+// The construction is deterministic in rng, so two managers fed the same
+// rng build the same functions in the same order.
+func buildRandom(m *Manager, rng *rand.Rand, n, steps int) []Ref {
+	pool := make([]Ref, 0, n+steps)
+	for v := 0; v < n; v++ {
+		pool = append(pool, m.Var(lit.Var(v)))
+	}
+	for i := 0; i < steps; i++ {
+		a := pool[rng.Intn(len(pool))]
+		b := pool[rng.Intn(len(pool))]
+		var r Ref
+		switch rng.Intn(4) {
+		case 0:
+			r = m.And(a, b)
+		case 1:
+			r = m.Or(a, b)
+		case 2:
+			r = m.Xor(a, b)
+		default:
+			r = m.ITE(a, b, m.Not(b))
+		}
+		pool = append(pool, r)
+	}
+	return pool
+}
+
+// mapUnique is the reference unique table the open-addressed one replaced:
+// it re-interns every node of a manager into a Go map and reports the
+// number of distinct (level, low, high) triples.
+func mapUnique(m *Manager) int {
+	seen := map[node]Ref{}
+	for id := 2; id < len(m.nodes); id++ {
+		n := m.nodes[id]
+		if _, ok := seen[n]; ok {
+			return -id // duplicate triple: canonicity broken
+		}
+		seen[n] = Ref(id)
+	}
+	return len(seen)
+}
+
+func TestUniqueTableCanonicalAcrossRehashes(t *testing.T) {
+	const nVars, steps = 14, 400
+	rng := rand.New(rand.NewSource(7))
+
+	// tiny: 4-slot initial table, so nearly every growth step rehashes.
+	tiny := newOrdered(identityOrder(nVars), 2)
+	roomy := NewOrdered(identityOrder(nVars))
+
+	rngCopy := rand.New(rand.NewSource(7))
+	poolTiny := buildRandom(tiny, rng, nVars, steps)
+	poolRoomy := buildRandom(roomy, rngCopy, nVars, steps)
+
+	if tiny.Kernel().Rehashes == 0 {
+		t.Fatal("tiny table never rehashed; test exercises nothing")
+	}
+
+	// Same construction order on both managers must yield identical refs:
+	// node numbering only depends on creation order, which canonicity fixes.
+	if len(poolTiny) != len(poolRoomy) {
+		t.Fatalf("pool sizes differ: %d vs %d", len(poolTiny), len(poolRoomy))
+	}
+	for i := range poolTiny {
+		if poolTiny[i] != poolRoomy[i] {
+			t.Fatalf("pool[%d]: tiny-table ref %d != roomy-table ref %d",
+				i, poolTiny[i], poolRoomy[i])
+		}
+	}
+
+	// No duplicate (level, low, high) triple may survive a rehash, and the
+	// open-addressed table must agree with a map-based re-interning.
+	if got := mapUnique(tiny); got != len(tiny.nodes)-2 {
+		t.Fatalf("map reference count %d != node count %d", got, len(tiny.nodes)-2)
+	}
+
+	// mk of an existing triple returns the same ref, post-rehash.
+	for _, f := range poolTiny[:50] {
+		if f == True || f == False {
+			continue
+		}
+		n := tiny.nodes[f]
+		if again := tiny.mk(n.level, n.low, n.high); again != f {
+			t.Fatalf("mk(%d,%d,%d) = %d, want canonical %d", n.level, n.low, n.high, again, f)
+		}
+	}
+}
+
+func TestNodeCapAbortsMidRehashWindow(t *testing.T) {
+	// A 4-slot initial table rehashes constantly; the node cap must still
+	// fire through CatchAbort exactly as with the default table, and the
+	// manager must stay within the cap afterward.
+	m := newOrdered(identityOrder(20), 2)
+	m.SetLimits(64, nil)
+	var reason budget.Reason
+	func() {
+		defer CatchAbort(&reason)
+		buildRandom(m, rand.New(rand.NewSource(3)), 20, 2000)
+	}()
+	if reason != budget.Nodes {
+		t.Fatalf("reason = %v, want %v", reason, budget.Nodes)
+	}
+	if got := m.NumNodes(); got > 64 {
+		t.Fatalf("node count %d exceeds cap 64", got)
+	}
+	// The table must still be coherent: re-interning finds no duplicates.
+	if got := mapUnique(m); got != m.NumNodes()-2 {
+		t.Fatalf("post-abort map reference count %d != node count %d", got, m.NumNodes()-2)
+	}
+}
+
+func identityOrder(n int) []lit.Var {
+	order := make([]lit.Var, n)
+	for i := range order {
+		order[i] = lit.Var(i)
+	}
+	return order
+}

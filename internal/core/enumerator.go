@@ -51,6 +51,12 @@ type Options struct {
 	EnableLearning bool
 	// MaxLearnedLen drops learned clauses longer than this (0 = keep all).
 	MaxLearnedLen int
+	// MemoLimit bounds the success-driven memo table: when the entry count
+	// reaches the limit, the whole table is cleared (a clear-on-threshold
+	// policy, counted in Stats.CacheClears), bounding memory on deep
+	// enumerations at the price of re-deriving evicted subproblems. 0
+	// selects DefaultMemoLimit; a negative value removes the bound.
+	MemoLimit int
 	// MaxDecisions aborts the enumeration once this many decisions have
 	// been made (0 = unbounded). An aborted run returns an
 	// under-approximation of the solution set, flagged in the result.
@@ -66,6 +72,12 @@ type Options struct {
 func DefaultOptions() Options {
 	return Options{EnableMemo: true, EnableLearning: true}
 }
+
+// DefaultMemoLimit is the memo-table entry bound installed when
+// Options.MemoLimit is zero. At roughly 24 bytes per entry this caps the
+// table near 25 MB — far beyond what the benchmark circuits populate, so
+// it only engages on pathological instances.
+const DefaultMemoLimit = 1 << 20
 
 type clause struct {
 	lits    []lit.Lit
@@ -117,8 +129,13 @@ type Enumerator struct {
 	isProj []bool
 	space  *cube.Space
 
-	man  *bdd.Manager
-	memo map[sig128]bdd.Ref
+	man       *bdd.Manager
+	memo      map[sig128]bdd.Ref
+	memoLimit int // resolved MemoLimit; 0 = unbounded
+
+	// learnFrom scratch, reused across conflicts.
+	learntBuf  []lit.Lit
+	cleanupBuf []lit.Var
 
 	residScan   int  // rotating scan pointer for residualSAT
 	aborted     bool // resource budget exhausted
@@ -148,27 +165,85 @@ func New(f *cnf.Formula, space *cube.Space, opts Options) *Enumerator {
 		man:      bdd.NewOrdered(space.Vars()),
 		memo:     make(map[sig128]bdd.Ref),
 	}
+	switch {
+	case opts.MemoLimit > 0:
+		e.memoLimit = opts.MemoLimit
+	case opts.MemoLimit == 0:
+		e.memoLimit = DefaultMemoLimit
+	}
 	for _, v := range e.proj {
 		if int(v) >= n {
 			panic(fmt.Sprintf("core: projection variable %v outside formula", v))
 		}
 		e.isProj[v] = true
 	}
+
+	// Install the clauses in two passes: normalize and count first, then
+	// carve the occurrence lists, clause literals, and initial watch lists
+	// out of single backing arrays sized exactly — one allocation each
+	// instead of an append-doubling chain per literal.
+	norm := make([]cnf.Clause, 0, len(f.Clauses))
+	occCnt := make([]int32, 2*n)
+	watchCnt := make([]int32, 2*n)
+	totalLits := 0
 	for _, c := range f.Clauses {
-		e.addOriginal(c)
+		nc, taut := c.Normalize()
+		if taut {
+			continue
+		}
+		norm = append(norm, nc)
+		totalLits += len(nc)
+		for _, l := range nc {
+			occCnt[l]++
+		}
+		if len(nc) >= 2 {
+			watchCnt[nc[0].Not()]++
+			watchCnt[nc[1].Not()]++
+		}
+	}
+	occBack := make([]int32, totalLits)
+	pos := 0
+	for l, cnt := range occCnt {
+		if cnt == 0 {
+			continue
+		}
+		e.occ[l] = occBack[pos:pos : pos+int(cnt)]
+		pos += int(cnt)
+	}
+	totalWatch := 0
+	for _, cnt := range watchCnt {
+		totalWatch += int(cnt)
+	}
+	watchBack := make([]watcher, totalWatch)
+	pos = 0
+	for l, cnt := range watchCnt {
+		if cnt == 0 {
+			continue
+		}
+		// Three-index caps keep a list that later outgrows its chunk from
+		// stomping its neighbour: the overflowing append reallocates.
+		e.watches[l] = watchBack[pos:pos : pos+int(cnt)]
+		pos += int(cnt)
+	}
+	litBack := make([]lit.Lit, 0, totalLits)
+	clauseBack := make([]clause, len(norm))
+	e.orig = make([]*clause, 0, len(norm))
+	e.satBy = make([]int32, 0, len(norm))
+	e.contrib = make([]sig128, 0, len(norm))
+	for i, nc := range norm {
+		start := len(litBack)
+		litBack = append(litBack, nc...)
+		cl := &clauseBack[i]
+		cl.lits = litBack[start:len(litBack):len(litBack)]
+		e.install(cl)
 	}
 	return e
 }
 
-// addOriginal normalizes and installs a problem clause. Tautologies are
-// dropped; the empty clause marks the formula unsatisfiable via a
-// sentinel (unsatCnt forced unreachable).
-func (e *Enumerator) addOriginal(c cnf.Clause) {
-	nc, taut := c.Normalize()
-	if taut {
-		return
-	}
-	cl := &clause{lits: append([]lit.Lit(nil), nc...)}
+// install records a normalized problem clause: residual signature,
+// occurrence lists, and (for clauses of length ≥ 2) the watch pair. Unit
+// and empty clauses are handled at Enumerate start.
+func (e *Enumerator) install(cl *clause) {
 	ci := int32(len(e.orig))
 	e.orig = append(e.orig, cl)
 	e.satBy = append(e.satBy, -1)
@@ -182,7 +257,6 @@ func (e *Enumerator) addOriginal(c cnf.Clause) {
 	if len(cl.lits) >= 2 {
 		e.attach(cl)
 	}
-	// Unit and empty clauses are handled at Enumerate start.
 }
 
 func (e *Enumerator) attach(cl *clause) {
@@ -403,6 +477,7 @@ func (e *Enumerator) Enumerate() *Result {
 	res.Set = set
 	res.Stats = e.stats
 	res.Stats.BDDNodes = e.man.NumNodes()
+	res.Stats.Kernel = e.man.Kernel()
 	res.Aborted = e.aborted
 	res.Reason = e.abortReason
 	return res
@@ -451,6 +526,10 @@ func (e *Enumerator) enumerate() bdd.Ref {
 	// the memo so pre-abort entries stay exact.
 	if e.opts.EnableMemo && !e.aborted {
 		e.memo[sig] = r
+		if e.memoLimit > 0 && len(e.memo) >= e.memoLimit {
+			clear(e.memo)
+			e.stats.CacheClears++
+		}
 	}
 	return r
 }
@@ -511,11 +590,14 @@ func (e *Enumerator) learnFrom(confl *clause) {
 	if level == 0 {
 		return
 	}
-	var learnt []lit.Lit
+	// learntBuf and cleanupBuf are per-enumerator scratch: conflicts are
+	// frequent and the buffers reach steady-state capacity quickly, so the
+	// analysis itself allocates nothing; only a kept clause copies out.
+	e.learntBuf = e.learntBuf[:0]
+	e.cleanupBuf = e.cleanupBuf[:0]
 	pathC := 0
 	idx := len(e.trail) - 1
 	var p lit.Lit = lit.UndefLit
-	var cleanup []lit.Var
 
 	expand := func(c *clause, skipFirst bool) {
 		start := 0
@@ -532,11 +614,11 @@ func (e *Enumerator) learnFrom(confl *clause) {
 				continue
 			}
 			e.seen[v] = 1
-			cleanup = append(cleanup, v)
+			e.cleanupBuf = append(e.cleanupBuf, v)
 			if e.dlevel[v] >= level {
 				pathC++
 			} else {
-				learnt = append(learnt, q)
+				e.learntBuf = append(e.learntBuf, q)
 			}
 		}
 	}
@@ -559,19 +641,21 @@ func (e *Enumerator) learnFrom(confl *clause) {
 			expand(rc, true)
 		} else {
 			// Reached a decision before the UIP: abandon learning.
-			for _, v := range cleanup {
+			for _, v := range e.cleanupBuf {
 				e.seen[v] = 0
 			}
 			return
 		}
 	}
-	for _, v := range cleanup {
+	for _, v := range e.cleanupBuf {
 		e.seen[v] = 0
 	}
 	if !p.IsDef() {
 		return
 	}
-	learnt = append([]lit.Lit{p.Not()}, learnt...)
+	learnt := make([]lit.Lit, 0, len(e.learntBuf)+1)
+	learnt = append(learnt, p.Not())
+	learnt = append(learnt, e.learntBuf...)
 	if e.opts.MaxLearnedLen > 0 && len(learnt) > e.opts.MaxLearnedLen {
 		return
 	}

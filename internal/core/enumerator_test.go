@@ -341,3 +341,60 @@ func TestDeterminism(t *testing.T) {
 		}
 	}
 }
+
+func TestMemoBoundClearsAndAgrees(t *testing.T) {
+	// A punishing memo bound must only cost re-derivations, never change
+	// the answer, and each wholesale clear must be counted.
+	rng := rand.New(rand.NewSource(4004))
+	sawClear := false
+	for iter := 0; iter < 30; iter++ {
+		nVars := 8 + rng.Intn(4)
+		f := randomFormula(rng, nVars, 2*nVars, 2)
+		vars := rng.Perm(nVars)[:5]
+		space := projSpace(vars...)
+		free := EnumerateToResult(f, space, Options{EnableMemo: true, EnableLearning: true})
+		opts := Options{EnableMemo: true, EnableLearning: true, MemoLimit: 2}
+		e := New(f, space, opts)
+		r := e.Enumerate()
+		if got := e.man.SatCount(r.Set); got.Cmp(free.Count) != 0 {
+			t.Fatalf("iter %d: memo bound changed the answer: %v vs %v", iter, got, free.Count)
+		}
+		if len(e.memo) > 2 {
+			t.Fatalf("iter %d: memo size %d exceeds bound 2", iter, len(e.memo))
+		}
+		if r.Stats.CacheClears > 0 {
+			sawClear = true
+		}
+	}
+	if !sawClear {
+		t.Fatal("bound 2 never triggered a clear across 30 formulas")
+	}
+}
+
+func TestMemoLimitResolution(t *testing.T) {
+	f := cnf.New(2)
+	space := projSpace(0, 1)
+	if e := New(f, space, Options{EnableMemo: true}); e.memoLimit != DefaultMemoLimit {
+		t.Fatalf("zero MemoLimit resolved to %d, want DefaultMemoLimit", e.memoLimit)
+	}
+	if e := New(f, space, Options{EnableMemo: true, MemoLimit: 64}); e.memoLimit != 64 {
+		t.Fatalf("explicit MemoLimit resolved to %d, want 64", e.memoLimit)
+	}
+	if e := New(f, space, Options{EnableMemo: true, MemoLimit: -1}); e.memoLimit != 0 {
+		t.Fatalf("negative MemoLimit resolved to %d, want 0 (unbounded)", e.memoLimit)
+	}
+}
+
+func TestKernelStatsPopulated(t *testing.T) {
+	rng := rand.New(rand.NewSource(5005))
+	f := randomFormula(rng, 10, 20, 3)
+	space := projSpace(0, 1, 2, 3, 4)
+	r := New(f, space, DefaultOptions()).Enumerate()
+	k := r.Stats.Kernel
+	if k.UniqueLookups == 0 || k.UniqueCap == 0 {
+		t.Fatalf("kernel gauges empty: %+v", k)
+	}
+	if k.Nodes != r.Stats.BDDNodes {
+		t.Fatalf("kernel node count %d != BDDNodes %d", k.Nodes, r.Stats.BDDNodes)
+	}
+}

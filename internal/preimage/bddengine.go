@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/big"
 
+	"allsatpre/internal/allsat"
 	"allsatpre/internal/bdd"
 	"allsatpre/internal/budget"
 	"allsatpre/internal/circuit"
@@ -32,6 +33,7 @@ func abortedBDDResult(c *circuit.Circuit, m *bdd.Manager, reason budget.Reason) 
 		StateSpace:  stateSpace,
 		Count:       new(big.Int),
 		BDDNodes:    m.NumNodes(),
+		Stats:       allsat.Stats{BDDNodes: m.NumNodes(), Kernel: m.Kernel()},
 		Engine:      EngineBDD,
 		Aborted:     true,
 		AbortReason: reason,
@@ -174,6 +176,7 @@ func computeBDDBody(c *circuit.Circuit, target *cube.Cover, opts Options,
 		StateSpace: stateSpace,
 		Count:      m.SatCountIn(r, mgrStateSpace.Vars()),
 		BDDNodes:   m.NumNodes(),
+		Stats:      allsat.Stats{BDDNodes: m.NumNodes(), Kernel: m.Kernel()},
 		Engine:     EngineBDD,
 	}, budget.None, nil
 }

@@ -234,7 +234,21 @@ func recordStats(reg *stats.Registry, r *Result, elapsed time.Duration) {
 	reg.Counter("cubes").Add(r.Stats.Cubes)
 	reg.Counter("cache-lookups").Add(r.Stats.CacheLookups)
 	reg.Counter("cache-hits").Add(r.Stats.CacheHits)
+	reg.Counter("cache-clears").Add(r.Stats.CacheClears)
 	reg.MaxGauge("bdd-nodes", int64(r.BDDNodes))
+	if k := r.Stats.Kernel; k.UniqueLookups > 0 || k.CacheLookups > 0 {
+		reg.Counter("kernel-unique-lookups").Add(k.UniqueLookups)
+		reg.Counter("kernel-unique-probes").Add(k.UniqueProbes)
+		reg.Counter("kernel-rehashes").Add(k.Rehashes)
+		reg.Counter("kernel-cache-lookups").Add(k.CacheLookups)
+		reg.Counter("kernel-cache-hits").Add(k.CacheHits)
+		reg.Counter("kernel-cache-evictions").Add(k.CacheEvictions)
+		reg.MaxGauge("kernel-unique-cap", int64(k.UniqueCap))
+		reg.MaxGauge("kernel-cache-cap", int64(k.CacheCap))
+		reg.MaxGauge("kernel-cache-size", int64(k.CacheSize))
+		reg.SetFloatGauge("kernel-load-factor", k.LoadFactor())
+		reg.SetFloatGauge("kernel-avg-probes", k.AvgProbes())
+	}
 	reg.AddDuration("time", elapsed)
 	if r.Aborted {
 		reg.Counter("aborts").Inc()

@@ -136,6 +136,8 @@ func accumulate(dst *allsat.Stats, s allsat.Stats) {
 	dst.Conflicts += s.Conflicts
 	dst.CacheLookups += s.CacheLookups
 	dst.CacheHits += s.CacheHits
+	dst.CacheClears += s.CacheClears
+	dst.Kernel.Merge(s.Kernel)
 	if s.BDDNodes > dst.BDDNodes {
 		dst.BDDNodes = s.BDDNodes
 	}

@@ -12,6 +12,7 @@ package sat
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 
 	"allsatpre/internal/budget"
 	"allsatpre/internal/cnf"
@@ -152,6 +153,7 @@ func NewDefault() *Solver { return New(DefaultOptions()) }
 func FromFormula(f *cnf.Formula, opts Options) *Solver {
 	s := New(opts)
 	s.EnsureVars(f.NumVars)
+	s.clauses = slices.Grow(s.clauses, len(f.Clauses))
 	for _, c := range f.Clauses {
 		s.AddClause(c...)
 	}
@@ -201,8 +203,22 @@ func (s *Solver) NewVar() lit.Var {
 	return v
 }
 
-// EnsureVars allocates variables until at least n exist.
+// EnsureVars allocates variables until at least n exist. The per-variable
+// slices are grown once up front, so a bulk reservation (FromFormula,
+// AddFormula) costs one reallocation per slice instead of an amortized
+// doubling chain through NewVar.
 func (s *Solver) EnsureVars(n int) {
+	extra := n - len(s.assign)
+	if extra <= 0 {
+		return
+	}
+	s.assign = slices.Grow(s.assign, extra)
+	s.level = slices.Grow(s.level, extra)
+	s.reason = slices.Grow(s.reason, extra)
+	s.polarity = slices.Grow(s.polarity, extra)
+	s.activity = slices.Grow(s.activity, extra)
+	s.seen = slices.Grow(s.seen, extra)
+	s.watches = slices.Grow(s.watches, 2*extra)
 	for len(s.assign) < n {
 		s.NewVar()
 	}
@@ -223,19 +239,36 @@ func (s *Solver) LitValue(l lit.Lit) lit.Tern {
 
 // Model returns the satisfying assignment found by the most recent Sat
 // answer, indexed by variable. Variables with no forced value read as
-// false. The returned slice is a copy.
+// false. The returned slice is a fresh copy on every call — it stays
+// valid across later Solve calls; use ModelBuf in tight loops to avoid
+// the per-call allocation.
 func (s *Solver) Model() []bool {
 	m := make([]bool, len(s.model))
 	copy(m, s.model)
 	return m
 }
 
+// ModelBuf is Model with a caller-owned buffer: the assignment is
+// appended into dst[:0] and the (possibly regrown) slice returned, so an
+// enumeration loop reusing the same buffer allocates at most once.
+func (s *Solver) ModelBuf(dst []bool) []bool {
+	return append(dst[:0], s.model...)
+}
+
 // Conflict returns, after an Unsat answer under assumptions, a subset of
-// the negated assumptions that is sufficient for unsatisfiability.
+// the negated assumptions that is sufficient for unsatisfiability. The
+// returned slice is a fresh copy on every call; use ConflictBuf to reuse
+// a buffer instead.
 func (s *Solver) Conflict() []lit.Lit {
 	out := make([]lit.Lit, len(s.conflictOut))
 	copy(out, s.conflictOut)
 	return out
+}
+
+// ConflictBuf is Conflict with a caller-owned buffer, appending into
+// dst[:0] and returning the (possibly regrown) slice.
+func (s *Solver) ConflictBuf(dst []lit.Lit) []lit.Lit {
+	return append(dst[:0], s.conflictOut...)
 }
 
 func (s *Solver) decisionLevel() int { return len(s.trailLim) }
@@ -307,6 +340,7 @@ func (s *Solver) AddClause(ls ...lit.Lit) bool {
 // AddFormula adds every clause of f; returns false on top-level conflict.
 func (s *Solver) AddFormula(f *cnf.Formula) bool {
 	s.EnsureVars(f.NumVars)
+	s.clauses = slices.Grow(s.clauses, len(f.Clauses))
 	for _, c := range f.Clauses {
 		if !s.AddClause(c...) {
 			return false

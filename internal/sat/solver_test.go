@@ -512,3 +512,58 @@ func TestSolverString(t *testing.T) {
 		t.Error("Status.String mismatch")
 	}
 }
+
+func TestModelBufAndConflictBufReuse(t *testing.T) {
+	s := NewDefault()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(lit.Pos(a), lit.Pos(b))
+	s.AddClause(lit.Neg(a))
+	if s.Solve() != Sat {
+		t.Fatal("expected SAT")
+	}
+	want := s.Model()
+	buf := s.ModelBuf(nil)
+	if len(buf) != len(want) {
+		t.Fatalf("ModelBuf len %d, want %d", len(buf), len(want))
+	}
+	for i := range want {
+		if buf[i] != want[i] {
+			t.Fatalf("ModelBuf[%d] = %v, want %v", i, buf[i], want[i])
+		}
+	}
+	// A second call into the same buffer must reuse its backing array.
+	again := s.ModelBuf(buf)
+	if len(again) > 0 && len(buf) > 0 && &again[0] != &buf[0] {
+		t.Fatal("ModelBuf reallocated despite sufficient capacity")
+	}
+
+	// Conflict under assumptions, via both accessors.
+	if st := s.Solve(lit.Pos(a)); st != Unsat {
+		t.Fatalf("status %v, want UNSAT under conflicting assumption", st)
+	}
+	cw := s.Conflict()
+	cb := s.ConflictBuf(nil)
+	if len(cw) != len(cb) {
+		t.Fatalf("ConflictBuf len %d, want %d", len(cb), len(cw))
+	}
+	for i := range cw {
+		if cw[i] != cb[i] {
+			t.Fatalf("ConflictBuf[%d] = %v, want %v", i, cb[i], cw[i])
+		}
+	}
+}
+
+func TestEnsureVarsBulkGrow(t *testing.T) {
+	s := NewDefault()
+	s.EnsureVars(1000)
+	if s.NumVars() != 1000 {
+		t.Fatalf("NumVars %d, want 1000", s.NumVars())
+	}
+	if len(s.watches) != 2000 {
+		t.Fatalf("watches len %d, want 2000", len(s.watches))
+	}
+	s.EnsureVars(10) // no-op shrink attempt
+	if s.NumVars() != 1000 {
+		t.Fatalf("NumVars shrank to %d", s.NumVars())
+	}
+}

@@ -35,6 +35,7 @@ type Registry struct {
 	mu        sync.Mutex
 	counters  map[string]*Counter
 	gauges    map[string]int64
+	floats    map[string]float64
 	durations map[string]time.Duration
 	phases    map[string]*Registry
 	order     []string // insertion order of phases
@@ -46,6 +47,7 @@ func NewRegistry(name string) *Registry {
 		name:      name,
 		counters:  map[string]*Counter{},
 		gauges:    map[string]int64{},
+		floats:    map[string]float64{},
 		durations: map[string]time.Duration{},
 		phases:    map[string]*Registry{},
 	}
@@ -71,6 +73,15 @@ func (r *Registry) SetGauge(name string, v int64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.gauges[name] = v
+}
+
+// SetFloatGauge records a point-in-time fractional value (last write
+// wins) — ratios like load factors or mean probe lengths, rendered with
+// three decimals in snapshots.
+func (r *Registry) SetFloatGauge(name string, v float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.floats[name] = v
 }
 
 // MaxGauge records a point-in-time value, keeping the maximum observed.
@@ -127,6 +138,9 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for k, v := range r.gauges {
 		s.Metrics = append(s.Metrics, KV{k, fmt.Sprintf("%d", v)})
+	}
+	for k, v := range r.floats {
+		s.Metrics = append(s.Metrics, KV{k, fmt.Sprintf("%.3f", v)})
 	}
 	for k, d := range r.durations {
 		s.Metrics = append(s.Metrics, KV{k, fmtDuration(d)})

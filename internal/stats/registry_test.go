@@ -128,3 +128,31 @@ func TestHandlerServesJSON(t *testing.T) {
 		t.Fatalf("hits = %v", out["hits"])
 	}
 }
+
+func TestFloatGauges(t *testing.T) {
+	r := NewRegistry("run")
+	r.SetFloatGauge("load-factor", 0.5)
+	r.SetFloatGauge("load-factor", 0.75) // last write wins
+	r.SetFloatGauge("avg-probes", 1.0/3.0)
+	s := r.Snapshot()
+	got := map[string]string{}
+	for _, kv := range s.Metrics {
+		got[kv.Key] = kv.Value
+	}
+	if got["load-factor"] != "0.750" {
+		t.Fatalf("load-factor = %q, want 0.750", got["load-factor"])
+	}
+	if got["avg-probes"] != "0.333" {
+		t.Fatalf("avg-probes = %q, want 0.333", got["avg-probes"])
+	}
+	// Float gauges must survive the JSON rendering path too.
+	var b strings.Builder
+	s.WriteJSON(&b)
+	var parsed map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &parsed); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if parsed["load-factor"] != "0.750" {
+		t.Fatalf("JSON load-factor = %v", parsed["load-factor"])
+	}
+}

@@ -1,0 +1,37 @@
+#!/bin/sh
+# scripts/bench.sh — record one point of the performance trajectory.
+#
+# Runs the root Table benchmarks (all preimage engines: success-driven,
+# blocking, lifting, BDD) with -benchmem and converts the output into a
+# BENCH_*.json document via cmd/benchjson. The JSON keeps the raw bench
+# lines verbatim, so it stays benchstat-compatible (see cmd/benchjson).
+#
+# Usage:
+#   scripts/bench.sh [out.json]          # default out: BENCH_1.json
+#
+# Environment knobs:
+#   BENCH_PATTERN   -bench regex            (default: Table)
+#   BENCH_TIME      -benchtime              (default: 2x)
+#   BENCH_COUNT     -count                  (default: 2)
+#   BENCH_BASELINE  prior BENCH_*.json embedded as "baseline" for deltas
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT=${1:-BENCH_1.json}
+PATTERN=${BENCH_PATTERN:-Table}
+BENCHTIME=${BENCH_TIME:-2x}
+COUNT=${BENCH_COUNT:-2}
+LABEL=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+
+TMP=$(mktemp bench.XXXXXX.txt)
+trap 'rm -f "$TMP"' EXIT
+
+go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" -count "$COUNT" . | tee "$TMP"
+
+if [ -n "${BENCH_BASELINE:-}" ]; then
+    go run ./cmd/benchjson -label "$LABEL" -baseline "$BENCH_BASELINE" -o "$OUT" < "$TMP"
+else
+    go run ./cmd/benchjson -label "$LABEL" -o "$OUT" < "$TMP"
+fi
+echo "wrote $OUT"
