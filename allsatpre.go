@@ -41,6 +41,7 @@ import (
 	"allsatpre/internal/cube"
 	"allsatpre/internal/gen"
 	"allsatpre/internal/lit"
+	"allsatpre/internal/pool"
 	"allsatpre/internal/preimage"
 	"allsatpre/internal/stats"
 	"allsatpre/internal/trans"
@@ -328,6 +329,11 @@ type DimacsOptions struct {
 	// Budget.MaxCubes wins. The success-driven engine builds a BDD
 	// rather than cubes and is bounded by the Budget instead.
 	MaxCubes int
+	// Workers > 1 enumerates in parallel over guiding-path subcubes: the
+	// success-driven engine uses the work-stealing pool (internal/pool),
+	// the blocking/lifting engines per-subcube solvers. The result
+	// denotes the same solution set as the sequential run.
+	Workers int
 	// Stats, when non-nil, receives search counters for the run.
 	Stats *StatsRegistry
 }
@@ -375,10 +381,19 @@ func EnumerateDimacsOpts(r io.Reader, o DimacsOptions) (*allsat.Result, error) {
 	}
 	space := cube.NewSpace(proj)
 	bud := o.Budget.Materialize()
-	asOpts := allsat.Options{Budget: bud, MaxCubes: uint64(o.MaxCubes)}
+	asOpts := allsat.Options{Budget: bud, MaxCubes: uint64(o.MaxCubes), Workers: o.Workers}
 	var res *allsat.Result
 	switch engine {
 	case EngineSuccessDriven:
+		if o.Workers > 1 {
+			res = pool.EnumerateToResult(f, space, pool.Options{
+				Workers: o.Workers,
+				Core:    core.DefaultOptions(),
+				Budget:  bud,
+				Stats:   o.Stats,
+			})
+			break
+		}
 		co := core.DefaultOptions()
 		co.Budget = bud
 		res = core.EnumerateToResult(f, space, co)

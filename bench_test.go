@@ -227,6 +227,30 @@ func BenchmarkFig4(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelEnumerate — worker-count sweep for the guiding-path
+// pool (internal/pool) behind the success-driven engine: the same
+// preimage enumerated with 1/2/4/8 workers. The merged cover is
+// bit-identical across worker counts (see internal/preimage's
+// determinism suite), so ns/op differences are pure scheduling cost or
+// speedup. On a single-core host the sweep measures the pool's overhead
+// rather than parallel speedup; BENCH_2.json records which one it was.
+func BenchmarkParallelEnumerate(b *testing.B) {
+	suite := []gen.NamedCircuit{
+		{Name: "slike2", Circuit: gen.SLike(gen.SLikeParams{Seed: 2, Inputs: 8, Latches: 8, Gates: 120})},
+		{Name: "slike3", Circuit: gen.SLike(gen.SLikeParams{Seed: 3, Inputs: 10, Latches: 10, Gates: 220})},
+		{Name: "mult6", Circuit: gen.MultCore(6)},
+	}
+	for _, nc := range suite {
+		target := benchTarget(nc.Circuit)
+		for _, w := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/w%d", nc.Name, w), func(b *testing.B) {
+				benchPreimage(b, nc.Circuit, target,
+					preimage.Options{Engine: preimage.EngineSuccessDriven, Parallel: w})
+			})
+		}
+	}
+}
+
 // BenchmarkTable5 — BDD variable-order ablation (interleaved (s,s') pairs
 // vs segregated blocks).
 func BenchmarkTable5(b *testing.B) {

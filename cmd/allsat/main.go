@@ -104,7 +104,7 @@ func main() {
 	reg := bf.StatsRegistry("allsat")
 	res, err := allsatpre.EnumerateDimacsOpts(bytes.NewReader(data), allsatpre.DimacsOptions{
 		Engine: eng, Proj: proj, Preprocess: *pre,
-		Budget: bf.Budget(), MaxCubes: int(bf.MaxCubes), Stats: reg,
+		Budget: bf.Budget(), MaxCubes: int(bf.MaxCubes), Workers: bf.Workers, Stats: reg,
 	})
 	if err != nil {
 		fatal(err)

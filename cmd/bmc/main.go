@@ -41,7 +41,8 @@ func main() {
 		fatal(err)
 	}
 	t := stats.StartTimer()
-	res, err := allsatpre.BMCOpts(c, init, bad, *bound, allsatpre.BMCOptions{Budget: bf.Budget()})
+	res, err := allsatpre.BMCOpts(c, init, bad, *bound,
+		allsatpre.BMCOptions{Budget: bf.Budget(), Workers: bf.Workers})
 	if err != nil {
 		fatal(err)
 	}

@@ -34,6 +34,7 @@ func main() {
 	// Budgeted rows truncate loudly inside the tables (">N TRUNCATED(...)"
 	// cells) instead of hanging the harness on a wedged workload.
 	experiments.RunBudget = bf.Budget()
+	experiments.RunWorkers = bf.Workers
 	reg := bf.StatsRegistry("experiments")
 	experiments.RunStats = reg
 

@@ -54,7 +54,7 @@ func main() {
 	t := stats.StartTimer()
 	reg := bf.StatsRegistry("mc")
 	res, err := allsatpre.CheckReachable(c, init, bad, *steps,
-		allsatpre.Options{Engine: eng, Budget: bf.Budget(), Stats: reg})
+		allsatpre.Options{Engine: eng, Budget: bf.Budget(), Parallel: bf.Workers, Stats: reg})
 	if err != nil {
 		fatal(err)
 	}

@@ -44,7 +44,7 @@ func main() {
 	}
 
 	reg := bf.StatsRegistry("preimage")
-	opts := allsatpre.Options{Engine: eng, Budget: bf.Budget(), Stats: reg}
+	opts := allsatpre.Options{Engine: eng, Budget: bf.Budget(), Parallel: bf.Workers, Stats: reg}
 	var res *allsatpre.Result
 	if *kstep > 0 {
 		res, err = allsatpre.KStepPreimage(c, opts, *kstep, flag.Args()[1:]...)

@@ -40,7 +40,8 @@ func main() {
 	t := stats.StartTimer()
 	reg := bf.StatsRegistry("reach")
 	r, err := allsatpre.BackwardReach(c,
-		allsatpre.Options{Engine: eng, Budget: bf.Budget(), Stats: reg}, *steps, flag.Args()[1:]...)
+		allsatpre.Options{Engine: eng, Budget: bf.Budget(), Parallel: bf.Workers, Stats: reg},
+		*steps, flag.Args()[1:]...)
 	if err != nil {
 		fatal(err)
 	}

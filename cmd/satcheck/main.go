@@ -3,7 +3,12 @@
 //
 // Usage:
 //
-//	satcheck [-proof out.drup] [-verify] [-model] file.cnf|-
+//	satcheck [-workers N] [-proof out.drup] [-verify] [-model] file.cnf|-
+//
+// With -workers > 1 a portfolio of solvers races on the same formula,
+// each diversified by decision seed and random-decision frequency; the
+// first definitive answer wins and cancels the rest. The winner writes
+// its own DRUP proof, so -proof and -verify compose with the portfolio.
 //
 // Exit status: 10 satisfiable, 20 unsatisfiable (the conventional SAT
 // competition codes), 1 on error.
@@ -11,11 +16,15 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"sync"
 
+	"allsatpre/internal/budget"
 	"allsatpre/internal/cnf"
 	"allsatpre/internal/sat"
 )
@@ -24,6 +33,7 @@ func main() {
 	proofPath := flag.String("proof", "", "write a DRUP proof here on UNSAT")
 	verify := flag.Bool("verify", false, "self-check the DRUP proof after an UNSAT answer")
 	model := flag.Bool("model", false, "print the model as a DIMACS v-line on SAT")
+	workers := flag.Int("workers", runtime.NumCPU(), "portfolio size (default = CPU count; 1 = single solver)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: satcheck [flags] file.cnf|-")
@@ -47,26 +57,19 @@ func main() {
 		fatal(err)
 	}
 
-	var proofBuf bytes.Buffer
-	s := sat.FromFormula(formula, sat.DefaultOptions())
-	if *proofPath != "" || *verify {
-		s.SetProofWriter(&proofBuf)
-	}
-	st := s.Solve()
-	s.FlushProof()
-	stats := s.Stats()
+	wantProof := *proofPath != "" || *verify
+	st, proofBuf, stats := solve(formula, *workers, wantProof)
 	fmt.Printf("c vars=%d clauses=%d decisions=%d conflicts=%d propagations=%d\n",
-		formula.NumVars, len(formula.Clauses), stats.Decisions, stats.Conflicts, stats.Propagations)
+		formula.NumVars, len(formula.Clauses), stats.decisions, stats.conflicts, stats.propagations)
 
 	switch st {
 	case sat.Sat:
 		fmt.Println("s SATISFIABLE")
 		if *model {
-			m := s.Model()
 			fmt.Print("v ")
 			for v := 0; v < formula.NumVars; v++ {
 				d := v + 1
-				if !m[v] {
+				if !stats.model[v] {
 					d = -d
 				}
 				fmt.Printf("%d ", d)
@@ -92,6 +95,97 @@ func main() {
 		fmt.Println("s UNKNOWN")
 		os.Exit(1)
 	}
+}
+
+type answer struct {
+	status       sat.Status
+	model        []bool
+	decisions    uint64
+	conflicts    uint64
+	propagations uint64
+}
+
+// solve runs either a single solver or a racing portfolio and returns the
+// winning status, the winner's proof buffer, and the winner's statistics.
+func solve(formula *cnf.Formula, workers int, wantProof bool) (sat.Status, *bytes.Buffer, answer) {
+	if workers <= 1 {
+		buf := &bytes.Buffer{}
+		s := sat.FromFormula(formula, sat.DefaultOptions())
+		if wantProof {
+			s.SetProofWriter(buf)
+		}
+		st := s.Solve()
+		s.FlushProof()
+		return st, buf, fromSolver(st, s, formula)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	type result struct {
+		status sat.Status
+		buf    *bytes.Buffer
+		ans    answer
+	}
+	results := make(chan result, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		opts := sat.DefaultOptions()
+		// Diversify the portfolio: member 0 keeps the default strategy so a
+		// portfolio run is never slower to a verdict than the single solver
+		// on the same schedule; the rest explore with shifted seeds and an
+		// increasing dose of random decisions.
+		if i > 0 {
+			opts.Seed += int64(i) * 0x9e3779b9
+			opts.RandomFreq = 0.01 * float64(i)
+		}
+		opts.Budget = budget.Budget{Ctx: ctx}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := &bytes.Buffer{}
+			s := sat.FromFormula(formula, opts)
+			if wantProof {
+				s.SetProofWriter(buf)
+			}
+			st := s.Solve()
+			s.FlushProof()
+			results <- result{st, buf, fromSolver(st, s, formula)}
+		}()
+	}
+	go func() { wg.Wait(); close(results) }()
+
+	// The first definitive verdict wins and cancels the rest; cancelled
+	// members report Unknown and are ignored unless nobody answered.
+	var fallback result
+	for r := range results {
+		if r.status == sat.Sat || r.status == sat.Unsat {
+			cancel()
+			go func() {
+				for range results {
+				}
+			}()
+			return r.status, r.buf, r.ans
+		}
+		fallback = r
+	}
+	return fallback.status, fallback.buf, fallback.ans
+}
+
+func fromSolver(st sat.Status, s *sat.Solver, formula *cnf.Formula) answer {
+	stats := s.Stats()
+	ans := answer{
+		status:       st,
+		decisions:    stats.Decisions,
+		conflicts:    stats.Conflicts,
+		propagations: stats.Propagations,
+	}
+	if st == sat.Sat {
+		m := s.Model()
+		ans.model = make([]bool, formula.NumVars)
+		copy(ans.model, m)
+	}
+	return ans
 }
 
 func fatal(err error) {

@@ -85,6 +85,11 @@ type Options struct {
 	// enumeration loop (the SAT sub-budget in SAT.Budget applies per
 	// solver). The zero Budget is unbounded.
 	Budget budget.Budget
+	// Workers > 1 fans the enumeration out over guiding-path subcubes of
+	// the projection space, one fresh solver per subcube (see parallel.go).
+	// The merged cover denotes the same solution set as the sequential
+	// run for every worker count. 0 or 1 enumerates sequentially.
+	Workers int
 }
 
 // countCover computes the exact minterm count of a cover by building its
@@ -109,6 +114,9 @@ func EnumerateLifting(f *cnf.Formula, space *cube.Space, opts Options) *Result {
 }
 
 func enumerateWithBlocking(f *cnf.Formula, space *cube.Space, opts Options, lift bool) *Result {
+	if opts.Workers > 1 && space.Size() > 0 {
+		return enumerateParallel(f, space, opts, lift)
+	}
 	bud := opts.Budget.Materialize()
 	res := &Result{Space: space, Cover: cube.NewCover(space), Count: new(big.Int)}
 	satOpts := opts.SAT

@@ -1,0 +1,293 @@
+package allsat
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"allsatpre/internal/bdd"
+	"allsatpre/internal/budget"
+	"allsatpre/internal/cnf"
+	"allsatpre/internal/cube"
+	"allsatpre/internal/partition"
+)
+
+// Parallel returns a copy of the options with the worker count set —
+// the fluent spelling of Options.Workers for call sites that start from
+// a literal or a default.
+func (o Options) Parallel(workers int) Options {
+	o.Workers = workers
+	return o
+}
+
+// restrictFormula clones the formula and pins a guiding-path subcube
+// with unit clauses. Each parallel worker enumerates such a restricted
+// clone with its own solver; the units also pin the subcube prefix
+// against lifting (a unit clause has exactly one satisfying literal, so
+// the lifter can never free its variable), which keeps the per-subcube
+// covers disjoint even for the lifting engine.
+func restrictFormula(f *cnf.Formula, space *cube.Space, s partition.Subcube) *cnf.Formula {
+	rf := f.Clone()
+	for _, l := range s.Assumptions(space, nil) {
+		rf.AddClause(cnf.Clause{l})
+	}
+	return rf
+}
+
+// enumerateParallel fans the blocking/lifting loop out over guiding-path
+// subcubes: the projection space is split into disjoint prefix subcubes,
+// workers drain them from a shared feed (each subcube enumerated by a
+// fresh solver on a restricted clone), and the per-subcube covers are
+// concatenated in subcube order — so the merged cover is deterministic
+// for a fixed split depth, and as a solution set it equals the
+// sequential enumeration for every worker count.
+func enumerateParallel(f *cnf.Formula, space *cube.Space, opts Options, lift bool) *Result {
+	bud := opts.Budget.Materialize()
+	workers := opts.Workers
+	k := partition.PrefixDepth(space, workers, 2)
+	subs := partition.Split(space, k)
+	if len(subs) <= 1 {
+		seq := opts
+		seq.Workers = 0
+		return enumerateWithBlocking(f, space, seq, lift)
+	}
+	if workers > len(subs) {
+		workers = len(subs)
+	}
+
+	// The cube cap is global: workers claim slots from a shared counter.
+	// The first abort records its reason and cancels the siblings via a
+	// shared context threaded into every worker's solver budget.
+	maxCubes := bud.MergeCubes(opts.MaxCubes)
+	var cubeCount atomic.Uint64
+	base := context.Background()
+	if bud.Ctx != nil {
+		base = bud.Ctx
+	}
+	ctx, cancel := context.WithCancel(base)
+	defer cancel()
+	var abortReason atomic.Int32
+	record := func(r budget.Reason) {
+		if r != budget.None && abortReason.CompareAndSwap(0, int32(r)) {
+			cancel()
+		}
+	}
+	wopts := opts
+	wopts.Workers = 0
+	wopts.MaxCubes = 0
+	wopts.Budget = bud
+	wopts.Budget.Ctx = ctx
+	wopts.Budget.MaxCubes = 0
+
+	type subOut struct {
+		cubes []cube.Cube
+		stats Stats
+	}
+	outs := make([]subOut, len(subs))
+	feed := make(chan int)
+	go func() {
+		defer close(feed)
+		for i := range subs {
+			select {
+			case feed <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range feed {
+				it := NewIterator(restrictFormula(f, space, subs[i]), space, wopts, lift)
+				var cubes []cube.Cube
+				for {
+					if maxCubes > 0 && cubeCount.Load() >= maxCubes {
+						record(budget.Cubes)
+						break
+					}
+					c, ok := it.Next()
+					if !ok {
+						record(it.Reason())
+						break
+					}
+					cubes = append(cubes, c)
+					cubeCount.Add(1)
+				}
+				outs[i] = subOut{cubes: cubes, stats: it.Stats()}
+				if ctx.Err() != nil {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	res := &Result{Space: space, Cover: cube.NewCover(space)}
+	for _, o := range outs {
+		for _, c := range o.cubes {
+			res.Cover.Add(c)
+		}
+		s := o.stats
+		res.Stats.Solutions += s.Solutions
+		res.Stats.Cubes += s.Cubes
+		res.Stats.BlockingClauses += s.BlockingClauses
+		res.Stats.BlockingLits += s.BlockingLits
+		res.Stats.LiftedFree += s.LiftedFree
+		res.Stats.Decisions += s.Decisions
+		res.Stats.Propagations += s.Propagations
+		res.Stats.Conflicts += s.Conflicts
+	}
+	var kernel bdd.KernelStats
+	res.Count, res.Stats.BDDNodes, kernel = countCover(res.Cover)
+	res.Stats.Kernel.Merge(kernel)
+	if r := budget.Reason(abortReason.Load()); r != budget.None {
+		res.Aborted = true
+		res.Reason = r
+	}
+	return res
+}
+
+// ParallelIterator streams solution cubes from a pool of workers, each
+// enumerating one guiding-path subcube at a time on its own solver. The
+// arrival order is scheduling-dependent (unlike the sequential Iterator),
+// but the multiset of cubes drains the same disjoint subcube covers.
+type ParallelIterator struct {
+	ch     chan cube.Cube
+	cancel context.CancelFunc
+	reason atomic.Int32
+
+	mu    sync.Mutex
+	stats Stats
+
+	done bool
+}
+
+// NewParallelIterator starts opts.Workers workers (minimum 1) and
+// returns the streaming iterator. Callers must either drain it or call
+// Stop to release the workers.
+func NewParallelIterator(f *cnf.Formula, space *cube.Space, opts Options, lift bool) *ParallelIterator {
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	bud := opts.Budget.Materialize()
+	base := context.Background()
+	if bud.Ctx != nil {
+		base = bud.Ctx
+	}
+	ctx, cancel := context.WithCancel(base)
+	p := &ParallelIterator{
+		ch:     make(chan cube.Cube, 4*workers),
+		cancel: cancel,
+	}
+	k := partition.PrefixDepth(space, workers, 2)
+	subs := partition.Split(space, k)
+	if workers > len(subs) {
+		workers = len(subs)
+	}
+	wopts := opts
+	wopts.Workers = 0
+	wopts.Budget = bud
+	wopts.Budget.Ctx = ctx
+
+	feed := make(chan int)
+	go func() {
+		defer close(feed)
+		for i := range subs {
+			select {
+			case feed <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range feed {
+				it := NewIterator(restrictFormula(f, space, subs[i]), space, wopts, lift)
+				for {
+					c, ok := it.Next()
+					if !ok {
+						if r := it.Reason(); r != budget.None {
+							p.reason.CompareAndSwap(0, int32(r))
+						}
+						break
+					}
+					select {
+					case p.ch <- c:
+					case <-ctx.Done():
+						p.fold(it.Stats())
+						return
+					}
+				}
+				p.fold(it.Stats())
+				if ctx.Err() != nil {
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(p.ch)
+	}()
+	return p
+}
+
+func (p *ParallelIterator) fold(s Stats) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Solutions += s.Solutions
+	p.stats.Cubes += s.Cubes
+	p.stats.BlockingClauses += s.BlockingClauses
+	p.stats.BlockingLits += s.BlockingLits
+	p.stats.LiftedFree += s.LiftedFree
+	p.stats.Decisions += s.Decisions
+	p.stats.Propagations += s.Propagations
+	p.stats.Conflicts += s.Conflicts
+}
+
+// Next returns the next solution cube, or ok=false once every worker has
+// drained its subcubes (or Stop/a budget cut them short).
+func (p *ParallelIterator) Next() (cube.Cube, bool) {
+	c, ok := <-p.ch
+	if !ok {
+		p.done = true
+	}
+	return c, ok
+}
+
+// Stop cancels the workers and drains the stream. Safe to call more than
+// once and after exhaustion.
+func (p *ParallelIterator) Stop() {
+	p.cancel()
+	for range p.ch {
+	}
+	p.done = true
+}
+
+// Exhausted reports whether the stream has ended.
+func (p *ParallelIterator) Exhausted() bool { return p.done }
+
+// Reason reports why the iteration stopped early (budget.None when it
+// ran to completion or is still running).
+func (p *ParallelIterator) Reason() budget.Reason {
+	return budget.Reason(p.reason.Load())
+}
+
+// Aborted reports whether a resource limit cut the iteration short.
+func (p *ParallelIterator) Aborted() bool { return p.Reason() != budget.None }
+
+// Stats returns the counters folded in from finished subcube iterators.
+func (p *ParallelIterator) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}

@@ -1,0 +1,150 @@
+package allsat
+
+import (
+	"math/rand"
+	"testing"
+
+	"allsatpre/internal/bdd"
+	"allsatpre/internal/budget"
+	"allsatpre/internal/cnf"
+	"allsatpre/internal/cube"
+	"allsatpre/internal/lit"
+)
+
+// coverSet builds the canonical BDD of a cover so parallel and
+// sequential runs can be compared as solution sets (lifting covers are
+// representation-dependent; the denoted set is not).
+func coverSet(m *bdd.Manager, cv *cube.Cover) bdd.Ref {
+	return m.FromCover(cv)
+}
+
+func TestParallelBlockingEqualsSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1101))
+	for iter := 0; iter < 25; iter++ {
+		nVars := 5 + rng.Intn(6)
+		f := randomFormula(rng, nVars, 1+rng.Intn(3*nVars), 3)
+		nProj := 3 + rng.Intn(nVars-2)
+		space := projSpace(rng.Perm(nVars)[:nProj]...)
+
+		want := EnumerateBlocking(f.Clone(), space, Options{})
+		m := bdd.NewOrdered(space.Vars())
+		wantSet := coverSet(m, want.Cover)
+		for _, workers := range []int{2, 4, 8} {
+			got := EnumerateBlocking(f.Clone(), space, Options{}.Parallel(workers))
+			if got.Count.Cmp(want.Count) != 0 {
+				t.Fatalf("iter %d workers %d: count %v, want %v",
+					iter, workers, got.Count, want.Count)
+			}
+			if coverSet(m, got.Cover) != wantSet {
+				t.Fatalf("iter %d workers %d: blocking cover set differs", iter, workers)
+			}
+			// Blocking cubes are full assignments over disjoint subcubes:
+			// the sorted cube lists must be identical, not just the sets.
+			a, b := got.Cover.SortedKeys(), want.Cover.SortedKeys()
+			if len(a) != len(b) {
+				t.Fatalf("iter %d workers %d: %d cubes, want %d", iter, workers, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("iter %d workers %d: cube %d = %s, want %s",
+						iter, workers, i, a[i], b[i])
+				}
+			}
+		}
+	}
+}
+
+func TestParallelLiftingEqualsSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(2202))
+	for iter := 0; iter < 25; iter++ {
+		nVars := 5 + rng.Intn(6)
+		f := randomFormula(rng, nVars, 1+rng.Intn(3*nVars), 3)
+		nProj := 3 + rng.Intn(nVars-2)
+		space := projSpace(rng.Perm(nVars)[:nProj]...)
+
+		want := EnumerateLifting(f.Clone(), space, Options{})
+		m := bdd.NewOrdered(space.Vars())
+		wantSet := coverSet(m, want.Cover)
+		for _, workers := range []int{2, 4, 8} {
+			got := EnumerateLifting(f.Clone(), space, Options{Workers: workers})
+			if got.Count.Cmp(want.Count) != 0 {
+				t.Fatalf("iter %d workers %d: count %v, want %v",
+					iter, workers, got.Count, want.Count)
+			}
+			// Lifted covers are representation-dependent; the solution sets
+			// must agree exactly.
+			if coverSet(m, got.Cover) != wantSet {
+				t.Fatalf("iter %d workers %d: lifting cover set differs", iter, workers)
+			}
+		}
+	}
+}
+
+func TestParallelMaxCubesAborts(t *testing.T) {
+	// x0..x5 unconstrained: 64 projected solutions; a global cap of 7 must
+	// abort with budget.Cubes and at most 7+workers cubes (each worker can
+	// overshoot by at most the one cube in flight).
+	f := cnf.New(6)
+	f.AddClause(cnf.Clause{lit.Pos(0), lit.Neg(0)})
+	space := projSpace(0, 1, 2, 3, 4, 5)
+	r := EnumerateBlocking(f, space, Options{MaxCubes: 7, Workers: 4})
+	if !r.Aborted || r.Reason != budget.Cubes {
+		t.Fatalf("aborted=%v reason=%v, want cube abort", r.Aborted, r.Reason)
+	}
+	if r.Cover.Len() < 7 || r.Cover.Len() > 7+4 {
+		t.Fatalf("cover has %d cubes, want ~7", r.Cover.Len())
+	}
+}
+
+func TestParallelIteratorDrainsProjection(t *testing.T) {
+	rng := rand.New(rand.NewSource(3303))
+	for iter := 0; iter < 10; iter++ {
+		nVars := 5 + rng.Intn(5)
+		f := randomFormula(rng, nVars, 1+rng.Intn(3*nVars), 3)
+		space := projSpace(rng.Perm(nVars)[:4]...)
+
+		want := EnumerateBlocking(f.Clone(), space, Options{})
+		m := bdd.NewOrdered(space.Vars())
+		wantSet := coverSet(m, want.Cover)
+
+		it := NewParallelIterator(f.Clone(), space, Options{Workers: 4}, false)
+		got := cube.NewCover(space)
+		for {
+			c, ok := it.Next()
+			if !ok {
+				break
+			}
+			got.Add(c)
+		}
+		if it.Aborted() {
+			t.Fatalf("iter %d: spurious abort: %v", iter, it.Reason())
+		}
+		if coverSet(m, got) != wantSet {
+			t.Fatalf("iter %d: parallel iterator set differs", iter)
+		}
+		if it.Stats().Cubes != uint64(got.Len()) {
+			t.Fatalf("iter %d: stats cubes %d, cover %d", iter, it.Stats().Cubes, got.Len())
+		}
+	}
+}
+
+func TestParallelIteratorStop(t *testing.T) {
+	// Unconstrained 10-var projection (1024 cubes): take 3, stop, and the
+	// workers must wind down without leaking or deadlocking.
+	f := cnf.New(10)
+	f.AddClause(cnf.Clause{lit.Pos(0), lit.Neg(0)})
+	space := projSpace(0, 1, 2, 3, 4, 5, 6, 7, 8, 9)
+	it := NewParallelIterator(f, space, Options{Workers: 4}, false)
+	for i := 0; i < 3; i++ {
+		if _, ok := it.Next(); !ok {
+			t.Fatalf("stream ended after %d cubes", i)
+		}
+	}
+	it.Stop()
+	if !it.Exhausted() {
+		t.Fatal("iterator not exhausted after Stop")
+	}
+	if _, ok := it.Next(); ok {
+		t.Fatal("Next succeeded after Stop drained the stream")
+	}
+}

@@ -1,0 +1,73 @@
+package bdd
+
+import "allsatpre/internal/lit"
+
+// Snapshot is an immutable, manager-independent serialization of a single
+// BDD. The parallel enumeration pool uses it to move solution sets between
+// managers: a worker exports its per-subcube set and hands the snapshot to
+// the merger thread. Handing over a live (Manager, Ref) pair instead would
+// race — managers are single-threaded, and the worker keeps appending
+// nodes (growing the backing arrays) while the merger reads.
+//
+// Nodes are stored children-before-parents with the root last. A node
+// reference is encoded as 0 = False, 1 = True, k+2 = snapshot node k.
+// Each node carries its variable id rather than its level, so a snapshot
+// can be imported into any manager whose order contains those variables.
+type Snapshot struct {
+	vars   []lit.Var
+	lo, hi []int32
+	root   int32
+}
+
+// NumNodes reports the number of internal nodes the snapshot carries
+// (zero for a terminal).
+func (s *Snapshot) NumNodes() int { return len(s.vars) }
+
+// Export serializes f into a self-contained Snapshot.
+func (m *Manager) Export(f Ref) *Snapshot {
+	s := &Snapshot{}
+	idx := map[Ref]int32{False: 0, True: 1}
+	var rec func(Ref) int32
+	rec = func(r Ref) int32 {
+		if out, ok := idx[r]; ok {
+			return out
+		}
+		n := m.nodes[r]
+		lo := rec(n.low)
+		hi := rec(n.high)
+		out := int32(len(s.vars)) + 2
+		s.vars = append(s.vars, m.order[n.level])
+		s.lo = append(s.lo, lo)
+		s.hi = append(s.hi, hi)
+		idx[r] = out
+		return out
+	}
+	s.root = rec(f)
+	return s
+}
+
+// Import rebuilds the snapshot inside m and returns the corresponding
+// ref. Every snapshot variable must be in m's order. When the snapshot's
+// relative variable order matches m's — the pool case, where every
+// manager is built over the same projection order — each node maps to a
+// single mk call; otherwise the node is rebuilt with ITE, which reorders
+// correctly at the usual apply cost.
+func (m *Manager) Import(s *Snapshot) Ref {
+	refs := make([]Ref, len(s.vars))
+	decode := func(x int32) Ref {
+		if x < 2 {
+			return Ref(x)
+		}
+		return refs[x-2]
+	}
+	for i, v := range s.vars {
+		lv := m.Level(v)
+		lo, hi := decode(s.lo[i]), decode(s.hi[i])
+		if m.level(lo) > lv && m.level(hi) > lv {
+			refs[i] = m.mk(lv, lo, hi)
+		} else {
+			refs[i] = m.ITE(m.Var(v), hi, lo)
+		}
+	}
+	return decode(s.root)
+}

@@ -31,6 +31,10 @@ type Options struct {
 	// it trips, CheckTo returns a Result with Aborted set and Depth
 	// reporting the last fully explored depth — never an error.
 	Budget budget.Budget
+	// Workers > 1 makes CheckOpts sweep the depths in parallel, one
+	// checker (solver + unrolling) per worker — see CheckParallel. The
+	// Reachable/Depth outcome matches the sequential sweep exactly.
+	Workers int
 }
 
 // Result is the outcome of a BMC run.
@@ -269,8 +273,12 @@ func Check(c *circuit.Circuit, init, bad *cube.Cover, bound int) (*Result, error
 	return ck.CheckTo(bound)
 }
 
-// CheckOpts is Check with solver tuning and a resource budget.
+// CheckOpts is Check with solver tuning and a resource budget. With
+// Options.Workers > 1 the depth sweep runs in parallel (CheckParallel).
 func CheckOpts(c *circuit.Circuit, init, bad *cube.Cover, bound int, opts Options) (*Result, error) {
+	if opts.Workers > 1 {
+		return CheckParallel(c, init, bad, bound, opts)
+	}
 	ck, err := NewOpts(c, init, bad, opts)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,106 @@
+package bmc
+
+import (
+	"context"
+	"testing"
+
+	"allsatpre/internal/budget"
+	"allsatpre/internal/gen"
+	"allsatpre/internal/trans"
+)
+
+func contextCancelled() (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return ctx, cancel
+}
+
+// TestParallelMatchesSequentialSweep compares the parallel depth sweep
+// against CheckTo on reachable and unreachable instances at several
+// worker counts: Reachable and Depth must match exactly, and a found
+// trace must simulate.
+func TestParallelMatchesSequentialSweep(t *testing.T) {
+	cases := []struct {
+		name      string
+		n         int
+		init, bad string
+		bound     int
+	}{
+		{"counter-hit", 4, "0000", "1010", 10},   // depth 5
+		{"counter-miss", 4, "0000", "1111", 6},   // deeper than bound
+		{"depth-zero", 3, "1X0", "110", 4},       // init ∩ bad
+		{"unreach-evens", 3, "000", "XX1", 8},    // counter steps keep parity until bit0 set
+	}
+	for _, tc := range cases {
+		c := gen.Counter(tc.n, true, false)
+		init := trans.TargetFromPatterns(tc.n, tc.init)
+		bad := trans.TargetFromPatterns(tc.n, tc.bad)
+		seq, err := Check(c, init, bad, tc.bound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, 8} {
+			par, err := CheckOpts(c, init, bad, tc.bound, Options{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if par.Aborted {
+				t.Fatalf("%s/w%d: spurious abort (%v)", tc.name, workers, par.AbortReason)
+			}
+			if par.Reachable != seq.Reachable || par.Depth != seq.Depth {
+				t.Fatalf("%s/w%d: (reachable=%v, depth=%d), want (%v, %d)",
+					tc.name, workers, par.Reachable, par.Depth, seq.Reachable, seq.Depth)
+			}
+			if par.Reachable {
+				validateTrace(t, c, init, bad, par.Trace)
+				if len(par.Trace.States) != par.Depth+1 {
+					t.Fatalf("%s/w%d: trace length %d for depth %d",
+						tc.name, workers, len(par.Trace.States), par.Depth)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelShortestCounterexample uses a bad cover hit at several
+// depths: the parallel sweep must still report the shortest one.
+func TestParallelShortestCounterexample(t *testing.T) {
+	c := gen.Counter(4, true, false)
+	init := trans.TargetFromPatterns(4, "0000")
+	// States 3 (1100) and 5 (1010): shortest hit is depth 3.
+	bad := trans.TargetFromPatterns(4, "1100", "1010")
+	for _, workers := range []int{2, 4, 8} {
+		r, err := CheckOpts(c, init, bad, 12, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Reachable || r.Depth != 3 {
+			t.Fatalf("w%d: (reachable=%v, depth=%d), want shortest depth 3",
+				workers, r.Reachable, r.Depth)
+		}
+		validateTrace(t, c, init, bad, r.Trace)
+	}
+}
+
+// TestParallelAbortReporting: an expired deadline must surface as a
+// structured abort with a certified prefix, not an error or a hang.
+func TestParallelAbortReporting(t *testing.T) {
+	c := gen.Counter(8, true, false)
+	init := trans.TargetFromPatterns(8, "00000000")
+	bad := trans.TargetFromPatterns(8, "11111111")
+	ctx, cancel := contextCancelled()
+	defer cancel()
+	r, err := CheckOpts(c, init, bad, 40, Options{
+		Workers: 4,
+		Budget:  budget.Budget{Ctx: ctx},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Aborted || r.Reachable {
+		t.Fatalf("want abort on cancelled context, got %+v", r)
+	}
+	if r.AbortReason != budget.Cancelled {
+		t.Fatalf("abort reason %v, want cancelled", r.AbortReason)
+	}
+}

@@ -1,0 +1,286 @@
+package core
+
+import (
+	"allsatpre/internal/allsat"
+	"allsatpre/internal/bdd"
+	"allsatpre/internal/budget"
+	"allsatpre/internal/lit"
+)
+
+// SubStatus classifies the outcome of one EnumerateUnder call. The
+// distinction between SubUnsatAssumps and SubGlobalUnsat is the
+// assumption-aware final-conflict path: a conflict while asserting
+// assumptions means only that this subcube is empty, while a root-level
+// conflict (no assumptions involved) means the whole formula is UNSAT.
+type SubStatus uint8
+
+const (
+	// SubSAT: the enumeration under the assumptions completed; Set holds
+	// the solutions (possibly the empty set — consistent assumptions with
+	// no models are still SubSAT, not UNSAT of anything).
+	SubSAT SubStatus = iota
+	// SubUnsatAssumps: the assumptions conflict with the formula. Failed
+	// holds a subset of the assumptions sufficient for the conflict; any
+	// other subcube containing that subset is empty too.
+	SubUnsatAssumps
+	// SubGlobalUnsat: the formula is UNSAT at the root, independent of any
+	// assumptions.
+	SubGlobalUnsat
+	// SubSplit: the per-call decision cap tripped before the subcube was
+	// exhausted. No solutions are reported; the caller should split the
+	// subcube and retry the halves (pre-cap memo entries are retained, so
+	// the halves re-derive only the frontier).
+	SubSplit
+)
+
+func (s SubStatus) String() string {
+	switch s {
+	case SubSAT:
+		return "sat"
+	case SubUnsatAssumps:
+		return "unsat-assumptions"
+	case SubGlobalUnsat:
+		return "unsat-global"
+	case SubSplit:
+		return "split"
+	}
+	return "unknown"
+}
+
+// SubResult is the outcome of enumerating one assumption subcube.
+type SubResult struct {
+	// Set is the solution BDD over the projection variables, including the
+	// assumption literals themselves (so disjoint subcubes yield disjoint
+	// sets whose union is the full solution set). Valid for SubSAT; False
+	// otherwise.
+	Set bdd.Ref
+	// Status classifies the outcome.
+	Status SubStatus
+	// Failed, for SubUnsatAssumps, is a subset of the assumptions whose
+	// conjunction is already inconsistent with the formula. It may be
+	// empty when the inconsistency involves no assumption at all (a
+	// learned clause falsified at the root), in which case every subcube
+	// is empty.
+	Failed []lit.Lit
+	// Stats holds the search counters spent by this call only.
+	Stats allsat.Stats
+	// Aborted is true when a resource budget tripped mid-call; Set is then
+	// a sound under-approximation of the subcube's solutions.
+	Aborted bool
+	Reason  budget.Reason
+}
+
+// prepareRoot installs the unit clauses and runs root-level propagation
+// once per enumerator, reporting false when the formula is UNSAT at the
+// root. Both Enumerate and EnumerateUnder funnel through it, so an
+// enumerator can serve any number of assumption subcubes after a single
+// root setup.
+func (e *Enumerator) prepareRoot() bool {
+	if e.prepared {
+		return !e.rootUnsat
+	}
+	e.prepared = true
+	for _, cl := range e.orig {
+		switch len(cl.lits) {
+		case 0:
+			e.rootUnsat = true
+			return false
+		case 1:
+			switch e.litValue(cl.lits[0]) {
+			case lit.False:
+				e.rootUnsat = true
+				return false
+			case lit.Unknown:
+				e.enqueue(cl.lits[0], nil)
+			}
+		}
+	}
+	if e.bcp() != nil {
+		e.rootUnsat = true
+		return false
+	}
+	return true
+}
+
+// EnumerateUnder enumerates the solutions inside the subcube described by
+// assumps (projection literals, typically a guiding-path prefix). Each
+// assumption is asserted at its own decision level — not at the root — so
+// learned clauses remain implied by the formula alone and stay sound when
+// the same enumerator is reused for the next subcube; the memo table is
+// likewise shared across calls, because the residual signature is
+// oblivious to how the current partial assignment was reached.
+//
+// callMaxDecisions, when non-zero, is a soft per-call cap: exceeding it
+// abandons the call with SubSplit so the caller can split the subcube
+// into halves, bounding the work granularity for dynamic load balancing.
+//
+// On return the trail is restored to the root, whatever the outcome.
+func (e *Enumerator) EnumerateUnder(assumps []lit.Lit, callMaxDecisions uint64) SubResult {
+	if e.check == nil && !e.opts.Budget.IsZero() {
+		e.check = e.opts.Budget.Start()
+	}
+	before := e.stats
+	out := SubResult{Set: bdd.False}
+	base := len(e.trailLim)
+	finish := func() SubResult {
+		for len(e.trailLim) > base {
+			e.popLevel()
+		}
+		out.Stats = statsDelta(e.stats, before)
+		out.Aborted = e.aborted
+		out.Reason = e.abortReason
+		return out
+	}
+	// Poll once per call: a subcube can resolve through assumptions and
+	// BCP alone, without a single decision, so without this a pooled run
+	// over easy subcubes would never observe a deadline or cancellation.
+	if e.check != nil && !e.aborted {
+		if r := e.check.Poll(); r != budget.None {
+			e.abort(r)
+		}
+	}
+	if e.aborted {
+		return finish()
+	}
+	if !e.prepareRoot() {
+		out.Status = SubGlobalUnsat
+		return finish()
+	}
+	for _, a := range assumps {
+		switch e.litValue(a) {
+		case lit.True:
+			continue // already implied
+		case lit.False:
+			out.Status = SubUnsatAssumps
+			out.Failed = e.analyzeFinalLit(a)
+			return finish()
+		}
+		e.pushLevel()
+		e.enqueue(a, nil)
+		if confl := e.bcp(); confl != nil {
+			e.stats.Conflicts++
+			out.Status = SubUnsatAssumps
+			out.Failed = e.analyzeFinal(confl)
+			return finish()
+		}
+	}
+	e.callBaseDec = e.stats.Decisions
+	e.callMaxDec = callMaxDecisions
+	set := e.enumerate()
+	e.callMaxDec = 0
+	if e.splitReq && !e.aborted {
+		e.splitReq = false
+		out.Status = SubSplit
+		return finish()
+	}
+	e.splitReq = false
+	if set != bdd.False {
+		// Fold in every projection literal on the trail: root units, the
+		// assumptions themselves, and everything they implied. Root
+		// literals are folded into every subcube's set; the merge is an Or,
+		// and (A∧r)∨(B∧r) = (A∨B)∧r, so the union matches the sequential
+		// result exactly.
+		for _, l := range e.trail {
+			if e.isProj[l.Var()] {
+				set = e.man.And(set, e.man.Lit(l))
+			}
+		}
+	}
+	out.Set = set
+	out.Status = SubSAT
+	return finish()
+}
+
+// Manager exposes the enumerator's BDD manager so callers of
+// EnumerateUnder can export per-subcube sets.
+func (e *Enumerator) Manager() *bdd.Manager { return e.man }
+
+// Stats returns a copy of the accumulated search counters.
+func (e *Enumerator) Stats() allsat.Stats { return e.stats }
+
+// analyzeFinal resolves a conflict met while asserting assumptions back
+// to the subset of assumption decisions that caused it (the analogue of
+// MiniSat's analyzeFinal). Every decision level above the root is an
+// assumption here — enumeration has not started — so any decision reached
+// by the backward walk is an assumption literal.
+func (e *Enumerator) analyzeFinal(confl *clause) []lit.Lit {
+	e.cleanupBuf = e.cleanupBuf[:0]
+	for _, q := range confl.lits {
+		e.markFinal(q)
+	}
+	return e.collectFailed()
+}
+
+// analyzeFinalLit handles the case where assumption a is already false
+// when asserted. If it was falsified at the root, the formula alone
+// excludes a and the failed set is {a}; otherwise a's reason chain is
+// resolved back to the earlier assumptions that implied ¬a.
+func (e *Enumerator) analyzeFinalLit(a lit.Lit) []lit.Lit {
+	v := a.Var()
+	if e.dlevel[v] == 0 {
+		return []lit.Lit{a}
+	}
+	e.cleanupBuf = e.cleanupBuf[:0]
+	e.seen[v] = 1
+	e.cleanupBuf = append(e.cleanupBuf, v)
+	return append(e.collectFailed(), a)
+}
+
+// markFinal marks a conflict-side literal for the final-conflict walk.
+// Root-level literals are facts of the formula, not of the assumptions,
+// and are dropped.
+func (e *Enumerator) markFinal(l lit.Lit) {
+	v := l.Var()
+	if e.seen[v] != 0 || e.assign[v] == lit.Unknown || e.dlevel[v] == 0 {
+		return
+	}
+	e.seen[v] = 1
+	e.cleanupBuf = append(e.cleanupBuf, v)
+}
+
+// collectFailed walks the trail top-down, expanding marked implied
+// literals through their reasons and collecting marked decisions — the
+// failed assumptions.
+func (e *Enumerator) collectFailed() []lit.Lit {
+	var failed []lit.Lit
+	for i := len(e.trail) - 1; i >= 0; i-- {
+		l := e.trail[i]
+		v := l.Var()
+		if e.seen[v] == 0 {
+			continue
+		}
+		if rc := e.reason[v]; rc != nil {
+			// rc.lits[0] is v's own literal while v is assigned (the watch
+			// invariant learnFrom relies on too); expand the rest.
+			for _, q := range rc.lits[1:] {
+				e.markFinal(q)
+			}
+		} else {
+			failed = append(failed, l)
+		}
+	}
+	for _, v := range e.cleanupBuf {
+		e.seen[v] = 0
+	}
+	return failed
+}
+
+// statsDelta subtracts the monotone search counters, yielding the cost of
+// one call. BDDNodes and Kernel are per-manager gauges, not counters, and
+// are reported separately by the pool at worker teardown.
+func statsDelta(after, before allsat.Stats) allsat.Stats {
+	return allsat.Stats{
+		Solutions:    after.Solutions - before.Solutions,
+		Cubes:        after.Cubes - before.Cubes,
+		LiftedFree:   after.LiftedFree - before.LiftedFree,
+		Decisions:    after.Decisions - before.Decisions,
+		Propagations: after.Propagations - before.Propagations,
+		Conflicts:    after.Conflicts - before.Conflicts,
+		CacheLookups: after.CacheLookups - before.CacheLookups,
+		CacheHits:    after.CacheHits - before.CacheHits,
+		CacheClears:  after.CacheClears - before.CacheClears,
+
+		BlockingClauses: after.BlockingClauses - before.BlockingClauses,
+		BlockingLits:    after.BlockingLits - before.BlockingLits,
+	}
+}

@@ -66,11 +66,25 @@ type Options struct {
 	// portion of the solution set assembled so far — always a sound
 	// under-approximation. The zero Budget is unbounded.
 	Budget budget.Budget
+	// OnDecision, when set, is polled once per projection decision; a
+	// non-None reason aborts the enumeration like a tripped budget. The
+	// parallel pool uses it to enforce a single global decision budget
+	// across workers via a shared atomic counter.
+	OnDecision func() budget.Reason
 }
 
 // DefaultOptions enables both learning mechanisms.
 func DefaultOptions() Options {
 	return Options{EnableMemo: true, EnableLearning: true}
+}
+
+// IsZero reports whether the options are the zero value, in which case
+// callers substitute DefaultOptions. Field-wise because Options holds a
+// function value and is not comparable.
+func (o Options) IsZero() bool {
+	return !o.EnableMemo && !o.EnableLearning && o.MaxLearnedLen == 0 &&
+		o.MemoLimit == 0 && o.MaxDecisions == 0 && o.Budget.IsZero() &&
+		o.OnDecision == nil
 }
 
 // DefaultMemoLimit is the memo-table entry bound installed when
@@ -141,6 +155,18 @@ type Enumerator struct {
 	aborted     bool // resource budget exhausted
 	abortReason budget.Reason
 	check       *budget.Checker // nil when the budget is unbounded
+
+	// Root preparation state (unit installation + root BCP), done once so
+	// the enumerator can serve repeated EnumerateUnder calls.
+	prepared  bool
+	rootUnsat bool
+
+	// Per-call soft decision cap (EnumerateUnder): when the call exceeds
+	// callMaxDec decisions, splitReq is raised and the search unwinds with
+	// partial results discarded, asking the caller to split the subcube.
+	callMaxDec  uint64
+	callBaseDec uint64
+	splitReq    bool
 
 	stats allsat.Stats
 }
@@ -443,26 +469,7 @@ func (e *Enumerator) Enumerate() *Result {
 		e.check = e.opts.Budget.Start()
 	}
 	res := &Result{Manager: e.man}
-
-	// Install unit clauses and detect the empty clause.
-	for _, cl := range e.orig {
-		switch len(cl.lits) {
-		case 0:
-			res.Set = bdd.False
-			res.Stats = e.stats
-			return res
-		case 1:
-			switch e.litValue(cl.lits[0]) {
-			case lit.False:
-				res.Set = bdd.False
-				res.Stats = e.stats
-				return res
-			case lit.Unknown:
-				e.enqueue(cl.lits[0], nil)
-			}
-		}
-	}
-	if e.bcp() != nil {
+	if !e.prepareRoot() {
 		res.Set = bdd.False
 		res.Stats = e.stats
 		return res
@@ -522,9 +529,9 @@ func (e *Enumerator) enumerate() bdd.Ref {
 		hi := e.branch(lit.Pos(v))
 		r = e.man.ITE(e.man.Var(v), hi, lo)
 	}
-	// Results computed after an abort may be truncated; keep them out of
-	// the memo so pre-abort entries stay exact.
-	if e.opts.EnableMemo && !e.aborted {
+	// Results computed after an abort or split request may be truncated;
+	// keep them out of the memo so pre-abort entries stay exact.
+	if e.opts.EnableMemo && !e.aborted && !e.splitReq {
 		e.memo[sig] = r
 		if e.memoLimit > 0 && len(e.memo) >= e.memoLimit {
 			clear(e.memo)
@@ -538,12 +545,16 @@ func (e *Enumerator) enumerate() bdd.Ref {
 // solution set (with projection literals implied under the branch folded
 // in).
 func (e *Enumerator) branch(dec lit.Lit) bdd.Ref {
-	if e.aborted {
+	if e.aborted || e.splitReq {
 		return bdd.False
 	}
 	if maxDec := e.opts.Budget.MergeDecisions(e.opts.MaxDecisions); maxDec > 0 &&
 		e.stats.Decisions >= maxDec {
 		e.abort(budget.Decisions)
+		return bdd.False
+	}
+	if e.callMaxDec > 0 && e.stats.Decisions-e.callBaseDec >= e.callMaxDec {
+		e.splitReq = true
 		return bdd.False
 	}
 	if n := e.opts.Budget.MaxBDDNodes; n > 0 && e.man.NumNodes() >= n {
@@ -552,6 +563,12 @@ func (e *Enumerator) branch(dec lit.Lit) bdd.Ref {
 	}
 	if e.check != nil {
 		if r := e.check.Poll(); r != budget.None {
+			e.abort(r)
+			return bdd.False
+		}
+	}
+	if f := e.opts.OnDecision; f != nil {
+		if r := f(); r != budget.None {
 			e.abort(r)
 			return bdd.False
 		}

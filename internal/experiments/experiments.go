@@ -51,6 +51,12 @@ type Row struct {
 // loudly instead of hanging the harness.
 var RunBudget budget.Budget
 
+// RunWorkers, when > 1, runs every experiment's preimage computation
+// with that many parallel enumeration workers (-workers on the CLI).
+// The tables are unchanged by construction — parallel covers denote the
+// same solution sets — only wall-clock moves.
+var RunWorkers int
+
 // RunStats, when non-nil, collects per-workload counters: each run gets
 // a "circuit/engine" phase beneath it.
 var RunStats *stats.Registry
@@ -129,6 +135,9 @@ func run(c *circuit.Circuit, target *cube.Cover, opts preimage.Options) Row {
 	}
 	if opts.Budget.IsZero() {
 		opts.Budget = RunBudget
+	}
+	if opts.Parallel == 0 && RunWorkers > 1 {
+		opts.Parallel = RunWorkers
 	}
 	if opts.Stats == nil && RunStats != nil {
 		opts.Stats = RunStats.Phase(c.Name + "/" + opts.Engine.String())
@@ -226,6 +235,9 @@ func Table3(maxSteps int) (*stats.Table, []Row) {
 			preimage.EngineSuccessDriven, preimage.EngineBlocking, preimage.EngineBDD,
 		} {
 			opts := preimage.Options{Engine: eng, Budget: RunBudget}
+			if RunWorkers > 1 {
+				opts.Parallel = RunWorkers
+			}
 			if RunStats != nil {
 				opts.Stats = RunStats.Phase(nc.Circuit.Name + "/" + eng.String())
 			}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"allsatpre/internal/budget"
@@ -24,6 +25,9 @@ type BudgetFlags struct {
 	MaxCubes     uint64
 	// MaxBDDNodes caps the solution/engine BDD size (0 = unlimited).
 	MaxBDDNodes int
+	// Workers is the enumeration worker count (-workers). Defaults to
+	// runtime.NumCPU(); 1 disables parallelism.
+	Workers int
 	// ShowStats requests a counter snapshot on stdout after the run.
 	ShowStats bool
 	// StatsHTTP, when non-empty, serves live JSON snapshots at this
@@ -46,6 +50,8 @@ func AddBudgetFlags(fs *flag.FlagSet) *BudgetFlags {
 		"abort after enumerating this many cubes (0 = unlimited)")
 	fs.IntVar(&bf.MaxBDDNodes, "max-bdd-nodes", 0,
 		"abort when the BDD grows past this many nodes (0 = unlimited)")
+	fs.IntVar(&bf.Workers, "workers", runtime.NumCPU(),
+		"parallel enumeration workers (default = CPU count; 1 = sequential)")
 	fs.BoolVar(&bf.ShowStats, "stats", false,
 		"print a hierarchical counter snapshot after the run")
 	fs.StringVar(&bf.StatsHTTP, "stats-http", "",

@@ -1,0 +1,130 @@
+package partition
+
+import (
+	"testing"
+
+	"allsatpre/internal/cube"
+	"allsatpre/internal/lit"
+)
+
+func space(n int) *cube.Space {
+	vs := make([]lit.Var, n)
+	for i := range vs {
+		vs[i] = lit.Var(i)
+	}
+	return cube.NewSpace(vs)
+}
+
+func TestSplitDisjointAndComplete(t *testing.T) {
+	sp := space(6)
+	for k := 0; k <= 6; k++ {
+		subs := Split(sp, k)
+		if len(subs) != 1<<uint(k) {
+			t.Fatalf("k=%d: %d subcubes, want %d", k, len(subs), 1<<uint(k))
+		}
+		// Every full assignment of the space belongs to exactly one subcube.
+		for x := 0; x < 64; x++ {
+			hits := 0
+			for _, s := range subs {
+				mask := uint64(1)<<uint(s.Depth) - 1
+				if uint64(x)&mask == s.Path {
+					hits++
+				}
+			}
+			if hits != 1 {
+				t.Fatalf("k=%d x=%d: covered by %d subcubes", k, x, hits)
+			}
+		}
+	}
+}
+
+func TestSplitClamps(t *testing.T) {
+	sp := space(3)
+	if got := len(Split(sp, 10)); got != 8 {
+		t.Fatalf("oversized k: %d subcubes, want 8", got)
+	}
+	if got := len(Split(sp, -1)); got != 1 {
+		t.Fatalf("negative k: %d subcubes, want 1", got)
+	}
+}
+
+func TestChildrenPartitionParent(t *testing.T) {
+	sp := space(5)
+	s := Subcube{Path: 0b101, Depth: 3}
+	lo, hi, ok := s.Children(sp)
+	if !ok {
+		t.Fatal("split refused")
+	}
+	if lo.Depth != 4 || hi.Depth != 4 {
+		t.Fatalf("child depths %d/%d", lo.Depth, hi.Depth)
+	}
+	if lo.Path != 0b0101 || hi.Path != 0b1101 {
+		t.Fatalf("child paths %b/%b", lo.Path, hi.Path)
+	}
+	// Exhausted space refuses to split.
+	full := Subcube{Path: 0, Depth: 5}
+	if _, _, ok := full.Children(sp); ok {
+		t.Fatal("split past the space size")
+	}
+}
+
+func TestAssumptionsMatchCube(t *testing.T) {
+	sp := space(4)
+	s := Subcube{Path: 0b10, Depth: 3} // pos0=0, pos1=1, pos2=0
+	as := s.Assumptions(sp, nil)
+	if len(as) != 3 {
+		t.Fatalf("%d assumptions, want 3", len(as))
+	}
+	want := []lit.Lit{lit.Neg(0), lit.Pos(1), lit.Neg(2)}
+	for i, l := range as {
+		if l != want[i] {
+			t.Fatalf("assumption %d = %v, want %v", i, l, want[i])
+		}
+	}
+	if got := s.Cube(sp).String(); got != "010X" {
+		t.Fatalf("cube %q, want 010X", got)
+	}
+}
+
+func TestPrefixDepth(t *testing.T) {
+	sp := space(20)
+	if d := PrefixDepth(sp, 1, 4); d != 0 {
+		t.Fatalf("1 worker: depth %d, want 0", d)
+	}
+	if d := PrefixDepth(sp, 4, 4); d != 4 {
+		t.Fatalf("4 workers x4: depth %d, want 4 (16 subcubes)", d)
+	}
+	if d := PrefixDepth(space(2), 8, 4); d != 2 {
+		t.Fatalf("small space: depth %d, want 2", d)
+	}
+}
+
+func TestFailedPatternPrunes(t *testing.T) {
+	sp := space(6)
+	// Failure {pos1=1, pos3=0}.
+	p, ok := PatternOf(sp, []lit.Lit{lit.Pos(1), lit.Neg(3)})
+	if !ok {
+		t.Fatal("pattern rejected")
+	}
+	match := Subcube{Path: 0b0010, Depth: 4}  // pos1=1, pos3=0
+	differ := Subcube{Path: 0b1010, Depth: 4} // pos3=1
+	short := Subcube{Path: 0b10, Depth: 2}    // pos3 still free
+	if !p.Prunes(match) {
+		t.Fatal("matching subcube not pruned")
+	}
+	if p.Prunes(differ) {
+		t.Fatal("disagreeing subcube pruned")
+	}
+	if p.Prunes(short) {
+		t.Fatal("subcube with the position free pruned")
+	}
+	// The empty pattern (global UNSAT) prunes everything.
+	var empty FailedPattern
+	if !empty.Prunes(match) || !empty.Prunes(short) {
+		t.Fatal("empty pattern must prune every subcube")
+	}
+	// Variables outside the space cannot be indexed.
+	if _, ok := PatternOf(sp, []lit.Lit{lit.Pos(63)}); ok {
+		t.Fatal("out-of-space literal accepted")
+	}
+}

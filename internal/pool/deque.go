@@ -1,0 +1,91 @@
+package pool
+
+import "sync/atomic"
+
+// deque is a Chase–Lev work-stealing deque of uint64-encoded subcubes
+// (Lê/Pop/Cocchi's formulation; Go atomics are sequentially consistent,
+// which subsumes the fences the weak-memory version needs). The owning
+// worker pushes and pops at the bottom without synchronization beyond the
+// atomics; thieves take the oldest entry from the top with a single CAS.
+// Entries are single words held in atomic slots, so a racing steal can
+// never observe a torn task.
+type deque struct {
+	top    atomic.Int64
+	bottom atomic.Int64
+	ring   atomic.Pointer[dequeRing]
+}
+
+type dequeRing struct {
+	mask  int64 // size-1, size a power of two
+	slots []atomic.Uint64
+}
+
+func newDequeRing(size int64) *dequeRing {
+	return &dequeRing{mask: size - 1, slots: make([]atomic.Uint64, size)}
+}
+
+func (r *dequeRing) get(i int64) uint64    { return r.slots[i&r.mask].Load() }
+func (r *dequeRing) put(i int64, w uint64) { r.slots[i&r.mask].Store(w) }
+
+func newDeque() *deque {
+	d := &deque{}
+	d.ring.Store(newDequeRing(64))
+	return d
+}
+
+// push appends a task at the bottom. Owner only.
+func (d *deque) push(w uint64) {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	r := d.ring.Load()
+	if b-t > r.mask {
+		// Full: double the ring. Live entries are copied, and the old ring
+		// keeps its values, so a thief that loaded the old ring before the
+		// swap still reads a valid word (its CAS on top arbitrates).
+		nr := newDequeRing((r.mask + 1) * 2)
+		for i := t; i < b; i++ {
+			nr.put(i, r.get(i))
+		}
+		d.ring.Store(nr)
+		r = nr
+	}
+	r.put(b, w)
+	d.bottom.Store(b + 1)
+}
+
+// pop removes the most recently pushed task (LIFO). Owner only.
+func (d *deque) pop() (uint64, bool) {
+	b := d.bottom.Load() - 1
+	r := d.ring.Load()
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// Empty: restore.
+		d.bottom.Store(b + 1)
+		return 0, false
+	}
+	w := r.get(b)
+	if t == b {
+		// Last entry: race the thieves for it via top.
+		ok := d.top.CompareAndSwap(t, t+1)
+		d.bottom.Store(b + 1)
+		return w, ok
+	}
+	return w, true
+}
+
+// steal removes the oldest task (FIFO). Any goroutine.
+func (d *deque) steal() (uint64, bool) {
+	for {
+		t := d.top.Load()
+		b := d.bottom.Load()
+		if t >= b {
+			return 0, false
+		}
+		w := d.ring.Load().get(t)
+		if d.top.CompareAndSwap(t, t+1) {
+			return w, true
+		}
+		// Lost the race to another thief or the owner; reload and retry.
+	}
+}

@@ -1,0 +1,485 @@
+// Package pool runs the success-driven enumerator (internal/core) across
+// a work-stealing worker pool. The projection space is split into
+// guiding-path subcubes (internal/partition); each worker owns a private
+// core.Enumerator — its own solver trail, learned clauses, memo table,
+// and single-threaded BDD manager — and drains a lock-free deque of
+// subcubes, re-splitting any subcube whose enumeration exceeds the work
+// threshold. Per-subcube solution sets are exported as immutable BDD
+// snapshots and published over a channel together with the search-counter
+// deltas; the merging thread rebuilds the union in a parent manager.
+// Because the subcubes are pairwise disjoint, the merge is a pure Or with
+// no cancellation, and BDD canonicity makes the merged set — and the ISOP
+// cover extracted from it — bit-identical to the sequential enumeration
+// for every worker count.
+//
+// Abort protocol: the shared budget.Budget stays the single source of
+// truth. Each worker polls its own checker; the first abort records the
+// reason and cancels a context shared by all workers, so siblings stop at
+// their next poll. Partial per-subcube sets still merge, and the result
+// reports Aborted with the first reason — a sound under-approximation,
+// exactly like the sequential engine.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"context"
+
+	"allsatpre/internal/allsat"
+	"allsatpre/internal/bdd"
+	"allsatpre/internal/budget"
+	"allsatpre/internal/cnf"
+	"allsatpre/internal/core"
+	"allsatpre/internal/cube"
+	"allsatpre/internal/lit"
+	"allsatpre/internal/partition"
+	"allsatpre/internal/stats"
+)
+
+// DefaultSplitThreshold is the per-subcube decision cap before a dynamic
+// re-split: coarse enough that the split bookkeeping is noise, fine
+// enough that one pathological subcube cannot serialize the run.
+const DefaultSplitThreshold = 4096
+
+// Options configures a pooled enumeration.
+type Options struct {
+	// Workers is the worker count; <= 0 selects runtime.GOMAXPROCS(0).
+	// One worker short-circuits to the plain sequential enumerator.
+	Workers int
+	// PrefixDepth overrides the static split depth (0 = automatic: the
+	// smallest k with 2^k >= 4*Workers subcubes).
+	PrefixDepth int
+	// SplitThreshold overrides the dynamic re-split decision cap
+	// (0 = DefaultSplitThreshold).
+	SplitThreshold uint64
+	// Core configures each worker's enumerator. Core.Budget is ignored;
+	// pass the run budget in Budget.
+	Core core.Options
+	// Budget bounds the whole pooled run. MaxDecisions is enforced
+	// globally via a shared atomic counter; MaxBDDNodes applies to each
+	// worker's manager and to the merged parent manager individually.
+	Budget budget.Budget
+	// Stats, when non-nil, receives the pool.* counters and gauges.
+	Stats *stats.Registry
+}
+
+// PoolStats aggregates the pool's own bookkeeping (the solver counters
+// are in the allsat.Stats of the result).
+type PoolStats struct {
+	// Workers is the effective worker count.
+	Workers int
+	// Subcubes counts work units processed, including pruned ones.
+	Subcubes uint64
+	// Steals counts tasks taken from another worker's deque.
+	Steals uint64
+	// Splits counts dynamic re-splits (each replaces one subcube by two).
+	Splits uint64
+	// UnsatSubcubes counts subcubes whose assumptions conflicted with the
+	// formula (the assumption-aware UNSAT path, not global UNSAT).
+	UnsatSubcubes uint64
+	// Pruned counts subcubes skipped because a recorded failed-assumption
+	// pattern subsumed them.
+	Pruned uint64
+	// Idle is the total time workers spent waiting for work.
+	Idle time.Duration
+	// MaxWorkerDecisions/MinWorkerDecisions expose load imbalance: the
+	// decision counts of the busiest and laziest workers.
+	MaxWorkerDecisions uint64
+	MinWorkerDecisions uint64
+}
+
+// Result is the merged outcome of a pooled enumeration.
+type Result struct {
+	// Manager owns Set: the parent manager the per-subcube sets were
+	// merged into. Its variable order is the projection order.
+	Manager *bdd.Manager
+	// Set is the union of the per-subcube solution sets.
+	Set bdd.Ref
+	// Stats sums the workers' search counters; BDDNodes totals every
+	// manager (workers + parent) as the run's memory proxy, and Kernel
+	// merges all kernel counters.
+	Stats allsat.Stats
+	// Pool holds the pool's own counters.
+	Pool PoolStats
+	// Aborted is set when any worker or the merger tripped the budget;
+	// Set is then a sound under-approximation and Reason holds the first
+	// cause.
+	Aborted bool
+	Reason  budget.Reason
+}
+
+// Task words pack a subcube into one uint64 for the lock-free deque:
+// the path in the low partition.MaxDepth bits, the depth above.
+func encodeTask(s partition.Subcube) uint64 {
+	return s.Path | uint64(s.Depth)<<partition.MaxDepth
+}
+
+func decodeTask(w uint64) partition.Subcube {
+	return partition.Subcube{
+		Path:  w & (1<<partition.MaxDepth - 1),
+		Depth: int(w >> partition.MaxDepth),
+	}
+}
+
+// mergeMsg is one channel message from a worker: a per-subcube result
+// (snapshot + counter deltas), or the worker's exit report.
+type mergeMsg struct {
+	snap  *bdd.Snapshot
+	stats allsat.Stats
+	exit  *workerExit
+}
+
+type workerExit struct {
+	kernel    bdd.KernelStats
+	nodes     int
+	decisions uint64
+	idle      time.Duration
+	steals    uint64
+	splits    uint64
+	unsat     uint64
+	pruned    uint64
+	done      uint64
+}
+
+// Enumerate runs the pooled enumeration and merges the per-subcube sets
+// into a fresh parent manager. With one worker (or an empty projection
+// space, where there is nothing to partition) it degrades to the plain
+// sequential enumerator — the reference the determinism tests compare
+// every other worker count against.
+func Enumerate(f *cnf.Formula, space *cube.Space, opts Options) *Result {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	opts.Budget = opts.Budget.Materialize()
+	if workers == 1 || space.Size() == 0 {
+		return sequential(f, space, opts)
+	}
+
+	// Workers share one cancellation context so the first abort stops the
+	// siblings; the global decision cap moves into a shared atomic polled
+	// through the enumerator's OnDecision hook.
+	base := context.Background()
+	if opts.Budget.Ctx != nil {
+		base = opts.Budget.Ctx
+	}
+	ctx, cancel := context.WithCancel(base)
+	defer cancel()
+	maxDec := opts.Budget.MergeDecisions(opts.Core.MaxDecisions)
+	co := opts.Core
+	co.Budget = opts.Budget
+	co.Budget.Ctx = ctx
+	co.Budget.MaxDecisions = 0
+	co.MaxDecisions = 0
+	var decisions atomic.Uint64
+	if maxDec > 0 {
+		co.OnDecision = func() budget.Reason {
+			if decisions.Add(1) > maxDec {
+				return budget.Decisions
+			}
+			return budget.None
+		}
+	}
+
+	k := opts.PrefixDepth
+	if k <= 0 {
+		k = partition.PrefixDepth(space, workers, 0)
+	}
+	tasks := partition.Split(space, k)
+	thresh := opts.SplitThreshold
+	if thresh == 0 {
+		thresh = DefaultSplitThreshold
+	}
+
+	deques := make([]*deque, workers)
+	for i := range deques {
+		deques[i] = newDeque()
+	}
+	for i, t := range tasks {
+		deques[i%workers].push(encodeTask(t))
+	}
+	var pending atomic.Int64
+	pending.Store(int64(len(tasks)))
+
+	var abortReason atomic.Int32
+	recordAbort := func(r budget.Reason) {
+		if r != budget.None && abortReason.CompareAndSwap(0, int32(r)) {
+			cancel()
+		}
+	}
+	aborted := func() bool { return abortReason.Load() != 0 }
+
+	// Failed-assumption patterns shared across workers: a subcube whose
+	// assumptions already failed prunes every later subcube it subsumes.
+	var failMu sync.Mutex
+	var fails []partition.FailedPattern
+	addFail := func(failed []lit.Lit) {
+		if p, ok := partition.PatternOf(space, failed); ok {
+			failMu.Lock()
+			fails = append(fails, p)
+			failMu.Unlock()
+		}
+	}
+	prunedBy := func(s partition.Subcube) bool {
+		failMu.Lock()
+		defer failMu.Unlock()
+		for _, p := range fails {
+			if p.Prunes(s) {
+				return true
+			}
+		}
+		return false
+	}
+
+	msgs := make(chan mergeMsg, workers*4)
+	var wg sync.WaitGroup
+	for id := 0; id < workers; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			w := &worker{
+				id:          id,
+				f:           f,
+				space:       space,
+				core:        co,
+				thresh:      thresh,
+				deques:      deques,
+				pending:     &pending,
+				msgs:        msgs,
+				recordAbort: recordAbort,
+				aborted:     aborted,
+				prunedBy:    prunedBy,
+				addFail:     addFail,
+			}
+			w.run()
+		}(id)
+	}
+	go func() {
+		wg.Wait()
+		close(msgs)
+	}()
+
+	// Merge in this goroutine: disjoint subcube sets, so a pure Or. The
+	// parent manager honors the node cap by checking after each import —
+	// once it trips, later snapshots are dropped (sound: the set only
+	// shrinks) and the run reports the abort.
+	man := bdd.NewOrdered(space.Vars())
+	set := bdd.False
+	mergeDead := false
+	var total allsat.Stats
+	var kernel bdd.KernelStats
+	nodesSum := 0
+	pst := PoolStats{Workers: workers, MinWorkerDecisions: ^uint64(0)}
+	for m := range msgs {
+		if m.exit != nil {
+			kernel.Merge(m.exit.kernel)
+			nodesSum += m.exit.nodes
+			pst.Steals += m.exit.steals
+			pst.Splits += m.exit.splits
+			pst.UnsatSubcubes += m.exit.unsat
+			pst.Pruned += m.exit.pruned
+			pst.Subcubes += m.exit.done
+			pst.Idle += m.exit.idle
+			if m.exit.decisions > pst.MaxWorkerDecisions {
+				pst.MaxWorkerDecisions = m.exit.decisions
+			}
+			if m.exit.decisions < pst.MinWorkerDecisions {
+				pst.MinWorkerDecisions = m.exit.decisions
+			}
+			continue
+		}
+		addCounters(&total, m.stats)
+		if m.snap != nil && !mergeDead {
+			set = man.Or(set, man.Import(m.snap))
+			if cap := opts.Budget.MaxBDDNodes; cap > 0 && man.NumNodes() >= cap {
+				recordAbort(budget.Nodes)
+				mergeDead = true
+			}
+		}
+	}
+	if pst.MinWorkerDecisions == ^uint64(0) {
+		pst.MinWorkerDecisions = 0
+	}
+
+	kernel.Merge(man.Kernel())
+	total.Kernel = kernel
+	total.BDDNodes = nodesSum + man.NumNodes()
+	res := &Result{
+		Manager: man,
+		Set:     set,
+		Stats:   total,
+		Pool:    pst,
+		Aborted: abortReason.Load() != 0,
+		Reason:  budget.Reason(abortReason.Load()),
+	}
+	publish(opts.Stats, res.Pool)
+	return res
+}
+
+// sequential is the one-worker degenerate case: the plain enumerator,
+// with the pool bookkeeping reduced to a worker-count gauge.
+func sequential(f *cnf.Formula, space *cube.Space, opts Options) *Result {
+	co := opts.Core
+	co.Budget = opts.Budget
+	e := core.New(f, space, co)
+	r := e.Enumerate()
+	res := &Result{
+		Manager: r.Manager,
+		Set:     r.Set,
+		Stats:   r.Stats,
+		Pool:    PoolStats{Workers: 1, Subcubes: 1},
+		Aborted: r.Aborted,
+		Reason:  r.Reason,
+	}
+	publish(opts.Stats, res.Pool)
+	return res
+}
+
+type worker struct {
+	id          int
+	f           *cnf.Formula
+	space       *cube.Space
+	core        core.Options
+	thresh      uint64
+	deques      []*deque
+	pending     *atomic.Int64
+	msgs        chan<- mergeMsg
+	recordAbort func(budget.Reason)
+	aborted     func() bool
+	prunedBy    func(partition.Subcube) bool
+	addFail     func([]lit.Lit)
+}
+
+func (w *worker) run() {
+	e := core.New(w.f, w.space, w.core)
+	my := w.deques[w.id]
+	var exit workerExit
+	var buf []lit.Lit
+	for !w.aborted() {
+		t, ok := my.pop()
+		if !ok {
+			for off := 1; off < len(w.deques) && !ok; off++ {
+				t, ok = w.deques[(w.id+off)%len(w.deques)].steal()
+			}
+			if ok {
+				exit.steals++
+			}
+		}
+		if !ok {
+			if w.pending.Load() == 0 {
+				break
+			}
+			t0 := time.Now()
+			runtime.Gosched()
+			time.Sleep(20 * time.Microsecond)
+			exit.idle += time.Since(t0)
+			continue
+		}
+		sc := decodeTask(t)
+		exit.done++
+		if w.prunedBy(sc) {
+			exit.pruned++
+			w.pending.Add(-1)
+			continue
+		}
+		buf = sc.Assumptions(w.space, buf[:0])
+		limit := w.thresh
+		if _, _, can := sc.Children(w.space); !can {
+			limit = 0 // cannot split further: run the subcube to completion
+		}
+		sub := e.EnumerateUnder(buf, limit)
+		switch sub.Status {
+		case core.SubSplit:
+			lo, hi, _ := sc.Children(w.space)
+			my.push(encodeTask(hi))
+			my.push(encodeTask(lo))
+			w.pending.Add(1) // two children in, one parent out
+			exit.splits++
+		case core.SubSAT:
+			var snap *bdd.Snapshot
+			if sub.Set != bdd.False {
+				snap = e.Manager().Export(sub.Set)
+			}
+			w.msgs <- mergeMsg{snap: snap, stats: sub.Stats}
+			w.pending.Add(-1)
+		case core.SubUnsatAssumps:
+			w.addFail(sub.Failed)
+			exit.unsat++
+			w.msgs <- mergeMsg{stats: sub.Stats}
+			w.pending.Add(-1)
+		case core.SubGlobalUnsat:
+			// UNSAT independent of assumptions: the empty pattern subsumes
+			// (and prunes) every remaining subcube.
+			w.addFail(nil)
+			w.msgs <- mergeMsg{stats: sub.Stats}
+			w.pending.Add(-1)
+		}
+		if sub.Aborted {
+			// Partial set already published; stop and let the shared
+			// context stop the siblings.
+			w.recordAbort(sub.Reason)
+			break
+		}
+	}
+	exit.kernel = e.Manager().Kernel()
+	exit.nodes = e.Manager().NumNodes()
+	exit.decisions = e.Stats().Decisions
+	w.msgs <- mergeMsg{exit: &exit}
+}
+
+// EnumerateToResult converts a pooled run to the shared allsat result
+// shape, extracting the ISOP cover from the merged set exactly like the
+// sequential core.EnumerateToResult.
+func EnumerateToResult(f *cnf.Formula, space *cube.Space, opts Options) *allsat.Result {
+	r := Enumerate(f, space, opts)
+	out := &allsat.Result{
+		Space:   space,
+		Cover:   r.Manager.ISOP(r.Set, space),
+		Count:   r.Manager.SatCount(r.Set),
+		Stats:   r.Stats,
+		Aborted: r.Aborted,
+		Reason:  r.Reason,
+	}
+	out.Stats.Cubes = uint64(out.Cover.Len())
+	return out
+}
+
+// addCounters accumulates the monotone counter fields (gauge-like fields
+// — BDDNodes, Kernel — are aggregated from the worker exit reports).
+func addCounters(dst *allsat.Stats, s allsat.Stats) {
+	dst.Solutions += s.Solutions
+	dst.Cubes += s.Cubes
+	dst.BlockingClauses += s.BlockingClauses
+	dst.BlockingLits += s.BlockingLits
+	dst.LiftedFree += s.LiftedFree
+	dst.Decisions += s.Decisions
+	dst.Propagations += s.Propagations
+	dst.Conflicts += s.Conflicts
+	dst.CacheLookups += s.CacheLookups
+	dst.CacheHits += s.CacheHits
+	dst.CacheClears += s.CacheClears
+}
+
+// publish mirrors the pool counters into the stats registry under the
+// pool.* keys.
+func publish(reg *stats.Registry, p PoolStats) {
+	if reg == nil {
+		return
+	}
+	reg.SetGauge("pool.workers", int64(p.Workers))
+	reg.Counter("pool.subcubes").Add(p.Subcubes)
+	reg.Counter("pool.steals").Add(p.Steals)
+	reg.Counter("pool.splits").Add(p.Splits)
+	reg.Counter("pool.unsat-subcubes").Add(p.UnsatSubcubes)
+	reg.Counter("pool.pruned-subcubes").Add(p.Pruned)
+	reg.AddDuration("pool.idle", p.Idle)
+	reg.SetGauge("pool.max-worker-decisions", int64(p.MaxWorkerDecisions))
+	reg.SetGauge("pool.min-worker-decisions", int64(p.MinWorkerDecisions))
+	if p.MaxWorkerDecisions > 0 {
+		reg.SetFloatGauge("pool.imbalance",
+			float64(p.MaxWorkerDecisions-p.MinWorkerDecisions)/float64(p.MaxWorkerDecisions))
+	}
+}

@@ -1,0 +1,182 @@
+package preimage
+
+import (
+	"testing"
+
+	"allsatpre/internal/bdd"
+	"allsatpre/internal/budget"
+	"allsatpre/internal/cube"
+	"allsatpre/internal/gen"
+	"allsatpre/internal/trans"
+)
+
+// determinismSuite is the seed-circuit subset the worker-count
+// determinism tests sweep (the larger Suite members are exercised by the
+// benchmarks; here runtime matters because every circuit runs at four
+// worker counts).
+func determinismSuite() []gen.NamedCircuit {
+	return []gen.NamedCircuit{
+		{Name: "counter8", Circuit: gen.Counter(8, true, false)},
+		{Name: "shift8", Circuit: gen.ShiftRegister(8)},
+		{Name: "lfsr8", Circuit: gen.LFSR(8, 0, 3, 4, 5)},
+		{Name: "gray6", Circuit: gen.GrayCounter(6)},
+		{Name: "traffic", Circuit: gen.TrafficLight()},
+		{Name: "slike1", Circuit: gen.SLike(gen.SLikeParams{Seed: 1, Inputs: 6, Latches: 6, Gates: 60})},
+		{Name: "slike2", Circuit: gen.SLike(gen.SLikeParams{Seed: 2, Inputs: 8, Latches: 8, Gates: 120})},
+	}
+}
+
+// TestDeterministicCoverAcrossWorkers is the parallel-enumeration
+// determinism contract: for every seed circuit the merged success-driven
+// preimage cover must be bit-identical — same sorted cube list, same
+// model count, same canonical BDD — across workers ∈ {1, 2, 4, 8} and
+// equal to the sequential enumerator's cover.
+// wideTarget builds a mostly-free target pattern (two fixed bits) so the
+// preimage is non-trivial on every suite circuit — fully fixed patterns
+// propagate to empty or tiny preimages on the slike instances, which
+// would let the sweep pass vacuously.
+func wideTarget(nL int) *cube.Cover {
+	pat := make([]byte, nL)
+	for i := range pat {
+		pat[i] = 'X'
+	}
+	pat[1] = '1'
+	if nL > 4 {
+		pat[4] = '0'
+	}
+	return trans.TargetFromPatterns(nL, string(pat))
+}
+
+func TestDeterministicCoverAcrossWorkers(t *testing.T) {
+	for _, nc := range determinismSuite() {
+		target := wideTarget(len(nc.Circuit.Latches))
+
+		seq, err := Compute(nc.Circuit, target, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqKeys := seq.States.SortedKeys()
+		m := bdd.NewOrdered(seq.StateSpace.Vars())
+		seqSet := m.FromCover(seq.States)
+
+		for _, workers := range []int{1, 2, 4, 8} {
+			par, err := Compute(nc.Circuit, target, Options{Parallel: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if par.Aborted {
+				t.Fatalf("%s/p%d: spurious abort (%v)", nc.Name, workers, par.AbortReason)
+			}
+			if par.Count.Cmp(seq.Count) != 0 {
+				t.Fatalf("%s/p%d: count %v, want %v", nc.Name, workers, par.Count, seq.Count)
+			}
+			if m.FromCover(par.States) != seqSet {
+				t.Fatalf("%s/p%d: canonical state set differs", nc.Name, workers)
+			}
+			keys := par.States.SortedKeys()
+			if len(keys) != len(seqKeys) {
+				t.Fatalf("%s/p%d: %d cubes, want %d", nc.Name, workers, len(keys), len(seqKeys))
+			}
+			for i := range keys {
+				if keys[i] != seqKeys[i] {
+					t.Fatalf("%s/p%d: cube %d = %s, want %s",
+						nc.Name, workers, i, keys[i], seqKeys[i])
+				}
+			}
+		}
+	}
+}
+
+// TestAbortSoundnessAcrossWorkers injects a mid-run decision budget at
+// every worker count: the run must report the abort with its reason, and
+// the partial cover must stay a subset of the true preimage. (Exact
+// cube-level determinism is not promised under abort — which subcubes
+// completed is scheduling-dependent — soundness and abort reporting
+// are.)
+func TestAbortSoundnessAcrossWorkers(t *testing.T) {
+	c := gen.SLike(gen.SLikeParams{Seed: 2, Inputs: 8, Latches: 8, Gates: 120})
+	// ~2k decisions sequentially, so a 10-decision budget trips mid-run.
+	target := trans.TargetFromPatterns(8, "X1XXXXXX")
+
+	full, err := Compute(c, target, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := bdd.NewOrdered(full.StateSpace.Vars())
+	fullSet := m.FromCover(full.States)
+
+	sawAbort := false
+	for _, workers := range []int{1, 2, 4, 8} {
+		par, err := Compute(c, target, Options{
+			Parallel: workers,
+			Budget:   budget.Budget{MaxDecisions: 10},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.Aborted {
+			sawAbort = true
+			if par.AbortReason != budget.Decisions {
+				t.Fatalf("p%d: abort reason %v, want decisions", workers, par.AbortReason)
+			}
+		}
+		if extra := m.Diff(m.FromCover(par.States), fullSet); extra != bdd.False {
+			t.Fatalf("p%d: aborted cover is not a subset of the full preimage", workers)
+		}
+	}
+	if !sawAbort {
+		t.Fatal("a 10-decision budget never aborted the 8-latch instance")
+	}
+}
+
+// TestDeterministicCoverBlockingEngines extends the sweep to the
+// blocking/lifting engines: their covers are representation-dependent in
+// parallel (per-subcube solvers lift differently), so the contract is
+// set-level — identical canonical BDD and count at every worker count.
+func TestDeterministicCoverBlockingEngines(t *testing.T) {
+	for _, nc := range []gen.NamedCircuit{
+		{Name: "gray6", Circuit: gen.GrayCounter(6)},
+		{Name: "slike1", Circuit: gen.SLike(gen.SLikeParams{Seed: 1, Inputs: 6, Latches: 6, Gates: 60})},
+	} {
+		target := wideTarget(len(nc.Circuit.Latches))
+		for _, eng := range []Engine{EngineBlocking, EngineLifting} {
+			seq, err := Compute(nc.Circuit, target, Options{Engine: eng})
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := bdd.NewOrdered(seq.StateSpace.Vars())
+			seqSet := m.FromCover(seq.States)
+			for _, workers := range []int{2, 4, 8} {
+				par, err := Compute(nc.Circuit, target, Options{Engine: eng, Parallel: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if par.Count.Cmp(seq.Count) != 0 || m.FromCover(par.States) != seqSet {
+					t.Fatalf("%s/%v/p%d: parallel state set differs", nc.Name, eng, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestDeterministicCoverBDDEngine covers the fourth engine: the sliced
+// parallel BDD path must agree with the monolithic relational product.
+func TestDeterministicCoverBDDEngine(t *testing.T) {
+	c := gen.Counter(6, true, false)
+	target := trans.TargetFromPatterns(6, "01X01X")
+	seq, err := Compute(c, target, Options{Engine: EngineBDD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := bdd.NewOrdered(seq.StateSpace.Vars())
+	seqSet := m.FromCover(seq.States)
+	for _, workers := range []int{2, 4, 8} {
+		par, err := Compute(c, target, Options{Engine: EngineBDD, Parallel: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.Count.Cmp(seq.Count) != 0 || m.FromCover(par.States) != seqSet {
+			t.Fatalf("bdd/p%d: parallel state set differs", workers)
+		}
+	}
+}

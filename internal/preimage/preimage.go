@@ -34,6 +34,7 @@ import (
 	"allsatpre/internal/core"
 	"allsatpre/internal/cube"
 	"allsatpre/internal/lit"
+	"allsatpre/internal/pool"
 	"allsatpre/internal/stats"
 	"allsatpre/internal/trans"
 )
@@ -94,11 +95,18 @@ type Options struct {
 	// Restrict, when non-nil, intersects the preimage with the given
 	// present-state cube (one position per latch): only predecessors
 	// inside the cube are enumerated. It is also the splitting mechanism
-	// behind Parallel.
+	// behind the BDD engine's Parallel path.
 	Restrict cube.Cube
-	// Parallel, when > 1, splits the present-state space on the first
-	// ⌈log2 Parallel⌉ latches and computes the disjoint slices on that
-	// many goroutines (SAT engines only; the BDD engine ignores it).
+	// Parallel, when > 1, computes the preimage with that many workers.
+	// The success-driven engine partitions the projection space into
+	// guiding-path subcubes drained by a work-stealing pool
+	// (internal/pool) whose merged BDD — and therefore ISOP cover — is
+	// bit-identical to the sequential run; the blocking/lifting engines
+	// fan guiding-path subcubes over per-subcube solvers
+	// (allsat.Options.Workers); the BDD engine computes disjoint
+	// Restrict slices of the present-state space concurrently. All
+	// engines return the same solution set as the sequential run for
+	// every worker count.
 	Parallel int
 	// FrontierSimplify lets Reach pass each backward frontier through the
 	// Coudert–Madre generalized cofactor with the already-visited states
@@ -180,10 +188,10 @@ func Compute(c *circuit.Circuit, target *cube.Cover, opts Options) (*Result, err
 	var res *Result
 	var err error
 	switch {
+	case opts.Engine == EngineBDD && opts.Parallel > 1 && len(c.Latches) > 0:
+		res, err = computeBDDParallel(c, target, opts)
 	case opts.Engine == EngineBDD:
 		res, err = computeBDD(c, target, opts)
-	case opts.Parallel > 1 && len(c.Latches) > 0:
-		res, err = computeParallel(c, target, opts)
 	default:
 		res, err = computeSAT(c, target, opts)
 	}
@@ -201,8 +209,23 @@ func runSATEngine(f *cnf.Formula, projSpace *cube.Space, opts Options) (*allsat.
 	switch opts.Engine {
 	case EngineSuccessDriven:
 		co := opts.Core
-		if co == (core.Options{}) {
+		if co.IsZero() {
 			co = core.DefaultOptions()
+		}
+		if opts.Parallel > 1 {
+			// The pool takes the run budget directly and enforces it
+			// globally across workers; an explicit engine budget wins.
+			bud := co.Budget
+			if bud.IsZero() {
+				bud = opts.Budget
+			}
+			co.Budget = budget.Budget{}
+			return pool.EnumerateToResult(f, projSpace, pool.Options{
+				Workers: opts.Parallel,
+				Core:    co,
+				Budget:  bud,
+				Stats:   opts.Stats,
+			}), nil
 		}
 		if co.Budget.IsZero() {
 			co.Budget = opts.Budget
@@ -212,6 +235,9 @@ func runSATEngine(f *cnf.Formula, projSpace *cube.Space, opts Options) (*allsat.
 		as := opts.AllSAT
 		if as.Budget.IsZero() {
 			as.Budget = opts.Budget
+		}
+		if opts.Parallel > 1 && as.Workers == 0 {
+			as.Workers = opts.Parallel
 		}
 		if opts.Engine == EngineBlocking {
 			return allsat.EnumerateBlocking(f, projSpace, as), nil
@@ -256,12 +282,15 @@ func recordStats(reg *stats.Registry, r *Result, elapsed time.Duration) {
 	}
 }
 
-// computeParallel splits the present-state space into disjoint slices on
-// the leading latches and runs computeSAT per slice concurrently. The
-// slices share one budget context: the first slice to fail cancels the
-// rest, so an error does not leave sibling goroutines burning CPU to
-// completion. Per-slice Aborted flags are merged into the result.
-func computeParallel(c *circuit.Circuit, target *cube.Cover, opts Options) (*Result, error) {
+// computeBDDParallel splits the present-state space into disjoint slices
+// on the leading latches and runs computeBDD per slice concurrently,
+// each slice on its own (single-threaded) manager via Restrict. The
+// slices share one budget context: the first slice to fail or abort
+// cancels the rest, so an error does not leave sibling goroutines
+// burning CPU to completion. Per-slice Aborted flags are merged into the
+// result. The SAT engines do not come through here — they parallelize
+// inside their enumerators (internal/pool, allsat.Options.Workers).
+func computeBDDParallel(c *circuit.Circuit, target *cube.Cover, opts Options) (*Result, error) {
 	bits := 1
 	for 1<<bits < opts.Parallel && bits < len(c.Latches) && bits < 4 {
 		bits++
@@ -306,8 +335,8 @@ func computeParallel(c *circuit.Circuit, target *cube.Cover, opts Options) (*Res
 				restrict[b] = want
 			}
 			sub.Restrict = restrict
-			results[slice], errs[slice] = computeSAT(c, target, sub)
-			if errs[slice] != nil {
+			results[slice], errs[slice] = computeBDD(c, target, sub)
+			if errs[slice] != nil || (results[slice] != nil && results[slice].Aborted) {
 				cancel() // stop the sibling slices
 			}
 		}(slice)

@@ -2,15 +2,17 @@
 # scripts/bench.sh — record one point of the performance trajectory.
 #
 # Runs the root Table benchmarks (all preimage engines: success-driven,
-# blocking, lifting, BDD) with -benchmem and converts the output into a
-# BENCH_*.json document via cmd/benchjson. The JSON keeps the raw bench
-# lines verbatim, so it stays benchstat-compatible (see cmd/benchjson).
+# blocking, lifting, BDD) plus the ParallelEnumerate worker sweep
+# (1/2/4/8 pool workers — the -workers column of the trajectory) with
+# -benchmem and converts the output into a BENCH_*.json document via
+# cmd/benchjson. The JSON keeps the raw bench lines verbatim, so it
+# stays benchstat-compatible (see cmd/benchjson).
 #
 # Usage:
 #   scripts/bench.sh [out.json]          # default out: BENCH_1.json
 #
 # Environment knobs:
-#   BENCH_PATTERN   -bench regex            (default: Table)
+#   BENCH_PATTERN   -bench regex            (default: Table|ParallelEnumerate)
 #   BENCH_TIME      -benchtime              (default: 2x)
 #   BENCH_COUNT     -count                  (default: 2)
 #   BENCH_BASELINE  prior BENCH_*.json embedded as "baseline" for deltas
@@ -19,7 +21,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 OUT=${1:-BENCH_1.json}
-PATTERN=${BENCH_PATTERN:-Table}
+PATTERN=${BENCH_PATTERN:-'Table|ParallelEnumerate'}
 BENCHTIME=${BENCH_TIME:-2x}
 COUNT=${BENCH_COUNT:-2}
 LABEL=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)

@@ -9,4 +9,9 @@ go build ./...
 go vet ./...
 go test ./...
 go test -race -short ./...
-go test -run '^$' -bench Table -benchtime=1x -benchmem .
+# The parallel-enumeration determinism suite must hold regardless of how
+# the Go scheduler interleaves workers: exercise it both pinned to one OS
+# thread and with real preemption under the race detector.
+GOMAXPROCS=1 go test -run 'TestDeterministic|TestAbortSoundness' ./internal/preimage/
+GOMAXPROCS=4 go test -race -run 'TestDeterministic|TestAbortSoundness' ./internal/preimage/
+go test -run '^$' -bench 'Table|ParallelEnumerate' -benchtime=1x -benchmem .
