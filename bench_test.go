@@ -153,6 +153,45 @@ func BenchmarkTable3(b *testing.B) {
 	}
 }
 
+// BenchmarkReachIncremental — fresh vs incremental multi-step backward
+// reachability on the Table 3 suite (success-driven engine, 6-step cap).
+// The fresh path re-encodes the circuit and rebuilds a solver set and BDD
+// manager every step; the incremental path (internal/incr) keeps one
+// session alive and retargets it with activation literals, retaining
+// learned clauses across steps. Results are bit-identical (see
+// internal/preimage's incremental equivalence suite), so the delta is
+// pure re-encoding plus lost-learning cost.
+func BenchmarkReachIncremental(b *testing.B) {
+	suite := []gen.NamedCircuit{
+		{Name: "counter8", Circuit: gen.Counter(8, true, false)},
+		{Name: "johnson8", Circuit: gen.Johnson(8)},
+		{Name: "traffic", Circuit: gen.TrafficLight()},
+		{Name: "slike1", Circuit: gen.SLike(gen.SLikeParams{Seed: 1, Inputs: 6, Latches: 6, Gates: 60})},
+	}
+	for _, nc := range suite {
+		target := benchTarget(nc.Circuit)
+		for _, incr := range []bool{false, true} {
+			mode := "fresh"
+			if incr {
+				mode = "incremental"
+			}
+			b.Run(fmt.Sprintf("%s/%s", nc.Name, mode), func(b *testing.B) {
+				b.ReportAllocs()
+				var steps int
+				for i := 0; i < b.N; i++ {
+					r, err := preimage.Reach(nc.Circuit, target, 6,
+						preimage.Options{Engine: preimage.EngineSuccessDriven, Incremental: incr})
+					if err != nil {
+						b.Fatal(err)
+					}
+					steps = r.Steps
+				}
+				b.ReportMetric(float64(steps), "steps")
+			})
+		}
+	}
+}
+
 // BenchmarkFig1 — runtime vs solution count: target-size sweep on a
 // 16-bit counter (k free bits → ~2^k solutions), blocking vs the
 // success-driven solver.

@@ -29,12 +29,14 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	steps := flag.Int("steps", 6, "step cap for table3 reachability")
 	bf := genspec.AddBudgetFlags(flag.CommandLine)
+	incremental := genspec.AddIncrementalFlag(flag.CommandLine)
 	flag.Parse()
 
 	// Budgeted rows truncate loudly inside the tables (">N TRUNCATED(...)"
 	// cells) instead of hanging the harness on a wedged workload.
 	experiments.RunBudget = bf.Budget()
 	experiments.RunWorkers = bf.Workers
+	experiments.RunIncremental = *incremental
 	reg := bf.StatsRegistry("experiments")
 	experiments.RunStats = reg
 

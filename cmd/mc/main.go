@@ -28,6 +28,7 @@ func main() {
 	steps := flag.Int("steps", 0, "maximum preimage iterations (<= 0: unbounded)")
 	vcd := flag.String("vcd", "", "write the counterexample trace as a VCD waveform here")
 	bf := genspec.AddBudgetFlags(flag.CommandLine)
+	incremental := genspec.AddIncrementalFlag(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() < 3 {
 		fmt.Fprintln(os.Stderr, "usage: mc [flags] circuit INIT-PATTERN BAD-PATTERN [BAD-PATTERN ...]")
@@ -54,7 +55,8 @@ func main() {
 	t := stats.StartTimer()
 	reg := bf.StatsRegistry("mc")
 	res, err := allsatpre.CheckReachable(c, init, bad, *steps,
-		allsatpre.Options{Engine: eng, Budget: bf.Budget(), Parallel: bf.Workers, Stats: reg})
+		allsatpre.Options{Engine: eng, Budget: bf.Budget(), Parallel: bf.Workers,
+			Incremental: *incremental, Stats: reg})
 	if err != nil {
 		fatal(err)
 	}

@@ -23,6 +23,7 @@ func main() {
 	engine := flag.String("engine", "success", "engine: success | blocking | lifting | bdd")
 	steps := flag.Int("steps", 0, "maximum preimage steps (<= 0: run to fixpoint)")
 	bf := genspec.AddBudgetFlags(flag.CommandLine)
+	incremental := genspec.AddIncrementalFlag(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() < 2 {
 		fmt.Fprintln(os.Stderr, "usage: reach [flags] circuit.bench|spec pattern [pattern ...]")
@@ -40,7 +41,8 @@ func main() {
 	t := stats.StartTimer()
 	reg := bf.StatsRegistry("reach")
 	r, err := allsatpre.BackwardReach(c,
-		allsatpre.Options{Engine: eng, Budget: bf.Budget(), Parallel: bf.Workers, Stats: reg},
+		allsatpre.Options{Engine: eng, Budget: bf.Budget(), Parallel: bf.Workers,
+			Incremental: *incremental, Stats: reg},
 		*steps, flag.Args()[1:]...)
 	if err != nil {
 		fatal(err)

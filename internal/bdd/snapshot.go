@@ -46,6 +46,24 @@ func (m *Manager) Export(f Ref) *Snapshot {
 	return s
 }
 
+// Rename returns a snapshot whose variable ids are passed through sub
+// (ids without an entry are kept). The node structure is shared with the
+// receiver; only the variable table is rewritten. This lets a set be
+// moved between managers with different variable spaces — e.g. a state
+// set over CNF variable ids imported into a canonical-state-space
+// manager. An order-preserving renaming keeps Import on the fast mk
+// path; any other renaming still imports correctly via the ITE fallback.
+func (s *Snapshot) Rename(sub map[lit.Var]lit.Var) *Snapshot {
+	vars := make([]lit.Var, len(s.vars))
+	for i, v := range s.vars {
+		if w, ok := sub[v]; ok {
+			v = w
+		}
+		vars[i] = v
+	}
+	return &Snapshot{vars: vars, lo: s.lo, hi: s.hi, root: s.root}
+}
+
 // Import rebuilds the snapshot inside m and returns the corresponding
 // ref. Every snapshot variable must be in m's order. When the snapshot's
 // relative variable order matches m's — the pool case, where every

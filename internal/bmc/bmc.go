@@ -91,7 +91,7 @@ func NewOpts(c *circuit.Circuit, init, bad *cube.Cover, opts Options) (*Checker,
 	if init.Space().Size() != len(c.Latches) || bad.Space().Size() != len(c.Latches) {
 		return nil, fmt.Errorf("bmc: init/bad space width must equal the latch count")
 	}
-	enc, err := tseitin.Encode(c)
+	enc, err := tseitin.EncodeCached(c)
 	if err != nil {
 		return nil, err
 	}

@@ -96,6 +96,11 @@ const DefaultMemoLimit = 1 << 20
 type clause struct {
 	lits    []lit.Lit
 	learned bool
+	// dead marks a clause retired by RetireGroup (or a learned clause
+	// garbage-collected with it); dead clauses are swept from the watch
+	// lists at retirement and stay permanently root-satisfied, so the
+	// search never consults them again.
+	dead bool
 }
 
 type watcher struct {
@@ -155,6 +160,18 @@ type Enumerator struct {
 	aborted     bool // resource budget exhausted
 	abortReason budget.Reason
 	check       *budget.Checker // nil when the budget is unbounded
+
+	// Incremental-clause state (see incr.go). groupOf tags each original
+	// clause with its dynamic group (0 = permanent); dynUnsat counts the
+	// unsatisfied clauses of the open group, so the memo can tell which
+	// entries embed the current target; stepSigs records those entries
+	// for invalidation when the group retires.
+	groupOf      []int32
+	groupClauses []int32 // clause indexes of the open group
+	curGroup     int32   // open group id (0 = none)
+	nextGroup    int32
+	dynUnsat     int
+	stepSigs     []sig128
 
 	// Root preparation state (unit installation + root BCP), done once so
 	// the enumerator can serve repeated EnumerateUnder calls.
@@ -256,6 +273,7 @@ func New(f *cnf.Formula, space *cube.Space, opts Options) *Enumerator {
 	e.orig = make([]*clause, 0, len(norm))
 	e.satBy = make([]int32, 0, len(norm))
 	e.contrib = make([]sig128, 0, len(norm))
+	e.groupOf = make([]int32, 0, len(norm))
 	for i, nc := range norm {
 		start := len(litBack)
 		litBack = append(litBack, nc...)
@@ -273,6 +291,7 @@ func (e *Enumerator) install(cl *clause) {
 	ci := int32(len(e.orig))
 	e.orig = append(e.orig, cl)
 	e.satBy = append(e.satBy, -1)
+	e.groupOf = append(e.groupOf, 0)
 	e.unsatCnt++
 	base := clauseBase(ci)
 	e.contrib = append(e.contrib, base)
@@ -309,6 +328,9 @@ func (e *Enumerator) enqueue(l lit.Lit, from *clause) {
 			e.satBy[ci] = pos
 			e.unsatCnt--
 			e.resid.xor(e.contrib[ci])
+			if e.groupOf[ci] != 0 {
+				e.dynUnsat--
+			}
 		}
 	}
 	// Clauses containing ¬l lose a literal: fold the falsity key in.
@@ -407,6 +429,9 @@ func (e *Enumerator) popLevel() {
 				e.satBy[ci] = -1
 				e.unsatCnt++
 				e.resid.xor(e.contrib[ci])
+				if e.groupOf[ci] != 0 {
+					e.dynUnsat++
+				}
 			}
 		}
 	}
@@ -533,8 +558,16 @@ func (e *Enumerator) enumerate() bdd.Ref {
 	// keep them out of the memo so pre-abort entries stay exact.
 	if e.opts.EnableMemo && !e.aborted && !e.splitReq {
 		e.memo[sig] = r
+		if e.dynUnsat > 0 {
+			// The residual embeds an unsatisfied clause of the open
+			// dynamic group: remember the signature so RetireGroup can
+			// drop the entry (its clause ids become permanently
+			// satisfied, so the signature could never be probed again).
+			e.stepSigs = append(e.stepSigs, sig)
+		}
 		if e.memoLimit > 0 && len(e.memo) >= e.memoLimit {
 			clear(e.memo)
+			e.stepSigs = e.stepSigs[:0]
 			e.stats.CacheClears++
 		}
 	}

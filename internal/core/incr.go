@@ -1,0 +1,309 @@
+package core
+
+// Incremental clause groups (Eén/Sörensson-style activation literals).
+//
+// A persistent enumerator can serve a sequence of targets against one
+// fixed circuit encoding: the caller allocates fresh variables with
+// NewVar, opens a clause group with BeginGroup, adds the target clauses
+// gated on a fresh activation literal act (every group clause contains
+// ¬act) with AddGroupClause, enumerates under the assumption act, and
+// finally retires the group with RetireGroup(¬act, vars). The unit ¬act
+// permanently satisfies every group clause, so the group can be swept
+// from the watch and occurrence lists without changing the formula's
+// models; learned clauses derived while act was assumable contain ¬act
+// (or only circuit literals) and remain implied by the remaining
+// formula, so they are retained unless they mention a retired variable —
+// those are garbage-collected, since with ¬act forced they are
+// permanently satisfied and would only burden the watch lists.
+//
+// Memo soundness across retargeting: a memo entry's signature hashes the
+// exact set of (clause, falsified-literal) pairs of the unsatisfied
+// clauses. Entries stored while every group clause was already satisfied
+// have residuals drawn purely from the permanent circuit clauses and
+// stay valid forever. Entries whose residual still contained a live
+// group clause (dynUnsat > 0 at store time) are tracked in stepSigs and
+// deleted at retirement: after ¬act their clause ids are permanently
+// satisfied, so the signature could never be probed again and the entry
+// is dead weight.
+
+import (
+	"fmt"
+
+	"allsatpre/internal/cnf"
+	"allsatpre/internal/lit"
+)
+
+// RetireStats reports what RetireGroup removed and kept.
+type RetireStats struct {
+	// OrigRetired is the number of group clauses tombstoned.
+	OrigRetired int
+	// LearnedKept / LearnedDropped split the learned-clause database at
+	// retirement: kept clauses mention no retired variable and survive
+	// into the next step.
+	LearnedKept    int
+	LearnedDropped int
+	// MemoInvalidated counts memo entries whose residual signature
+	// embedded a live group clause and had to be deleted.
+	MemoInvalidated int
+	// VarsRetired is len(vars) as passed by the caller (activation +
+	// selector variables of the group).
+	VarsRetired int
+}
+
+// NumVars reports the enumerator's current variable count.
+func (e *Enumerator) NumVars() int { return len(e.assign) }
+
+// MemoSize reports the current number of success-memo entries.
+func (e *Enumerator) MemoSize() int { return len(e.memo) }
+
+// LearnedCount reports the current learned-clause count.
+func (e *Enumerator) LearnedCount() int { return len(e.learned) }
+
+// NewVar allocates a fresh variable (for activation literals and
+// per-step selectors). The variable is not a projection variable and
+// does not enter the BDD manager's order.
+func (e *Enumerator) NewVar() lit.Var {
+	v := lit.Var(len(e.assign))
+	e.assign = append(e.assign, lit.Unknown)
+	e.reason = append(e.reason, nil)
+	e.seen = append(e.seen, 0)
+	e.dlevel = append(e.dlevel, 0)
+	e.trailIdx = append(e.trailIdx, 0)
+	e.isProj = append(e.isProj, false)
+	e.watches = append(e.watches, nil, nil)
+	e.occ = append(e.occ, nil, nil)
+	return v
+}
+
+// AddClause installs a permanent clause at the root level between
+// enumeration calls. It reports false when the addition (or prior state)
+// makes the formula UNSAT at the root.
+func (e *Enumerator) AddClause(lits ...lit.Lit) bool {
+	return e.addDynamic(lits, 0)
+}
+
+// BeginGroup opens a new clause group. Only one group may be open at a
+// time; it must be closed with RetireGroup before the next BeginGroup.
+func (e *Enumerator) BeginGroup() {
+	if e.curGroup != 0 {
+		panic("core: BeginGroup with a group already open")
+	}
+	e.nextGroup++
+	e.curGroup = e.nextGroup
+	e.groupClauses = e.groupClauses[:0]
+}
+
+// AddGroupClause installs a clause belonging to the open group. Every
+// group clause must contain the negated activation literal that will
+// later be passed to RetireGroup, so that the retirement unit satisfies
+// it permanently.
+func (e *Enumerator) AddGroupClause(lits ...lit.Lit) bool {
+	if e.curGroup == 0 {
+		panic("core: AddGroupClause without BeginGroup")
+	}
+	return e.addDynamic(lits, e.curGroup)
+}
+
+// addDynamic normalizes and installs one clause at the root, aware of
+// the current root assignment: root-true literals set satBy, root-false
+// literals fold their falsity keys into the contribution (so the
+// residual signature of a later partial assignment matches what a fresh
+// enumerator would compute), and a clause unit under the root assignment
+// is propagated immediately.
+func (e *Enumerator) addDynamic(ls []lit.Lit, group int32) bool {
+	if len(e.trailLim) != 0 {
+		panic("core: clause added above the root level")
+	}
+	if !e.prepareRoot() {
+		return false
+	}
+	nc, taut := cnf.Clause(ls).Normalize()
+	if taut {
+		return true
+	}
+	for _, l := range nc {
+		if int(l.Var()) >= len(e.assign) {
+			panic(fmt.Sprintf("core: clause literal %v outside formula; call NewVar first", l))
+		}
+	}
+	if len(nc) == 0 {
+		e.rootUnsat = true
+		return false
+	}
+	ci := int32(len(e.orig))
+	// Root status: earliest satisfying trail position, falsity keys of
+	// root-false literals, and the non-false literals moved to the front
+	// so positions 0 and 1 are valid watches.
+	contrib := clauseBase(ci)
+	satPos := int32(-1)
+	w := 0
+	for i, l := range nc {
+		switch e.litValue(l) {
+		case lit.True:
+			if p := e.trailIdx[l.Var()]; satPos < 0 || p < satPos {
+				satPos = p
+			}
+			nc[w], nc[i] = nc[i], nc[w]
+			w++
+		case lit.Unknown:
+			nc[w], nc[i] = nc[i], nc[w]
+			w++
+		case lit.False:
+			contrib.xor(falseKey(ci, l))
+		}
+	}
+	cl := &clause{lits: nc}
+	e.orig = append(e.orig, cl)
+	e.satBy = append(e.satBy, satPos)
+	e.contrib = append(e.contrib, contrib)
+	e.groupOf = append(e.groupOf, group)
+	if satPos < 0 {
+		e.unsatCnt++
+		e.resid.xor(contrib)
+		if group != 0 {
+			e.dynUnsat++
+		}
+	}
+	for _, l := range nc {
+		e.occ[l] = append(e.occ[l], ci)
+	}
+	if group != 0 {
+		e.groupClauses = append(e.groupClauses, ci)
+	}
+	if w >= 2 {
+		e.attach(cl)
+		return true
+	}
+	if satPos >= 0 {
+		return true
+	}
+	if w == 0 {
+		// Every literal is root-false: the formula became UNSAT.
+		e.rootUnsat = true
+		return false
+	}
+	// Exactly one non-false literal (now at nc[0], satisfying the
+	// "reason clause leads with its own literal" invariant): unit under
+	// the root assignment — propagate it. enqueue sees this clause in
+	// occ[nc[0]] and marks it satisfied, balancing the counters above.
+	e.enqueue(nc[0], cl)
+	e.stats.Propagations++
+	if e.bcp() != nil {
+		e.rootUnsat = true
+		return false
+	}
+	return true
+}
+
+// RetireGroup closes the open group: unit is the negated activation
+// literal (every group clause contains it), vars are the variables
+// private to the group (activation + selectors). The unit is added as a
+// permanent clause, the group's clauses are swept from the watch and
+// occurrence lists, learned clauses mentioning a retired variable are
+// garbage-collected, and memo entries whose residual embedded a live
+// group clause are invalidated. Must be called at the root with no
+// enumeration in flight.
+func (e *Enumerator) RetireGroup(unit lit.Lit, vars []lit.Var) RetireStats {
+	var out RetireStats
+	if e.curGroup == 0 {
+		panic("core: RetireGroup without an open group")
+	}
+	if len(e.trailLim) != 0 {
+		panic("core: RetireGroup above the root level")
+	}
+	e.curGroup = 0
+	out.VarsRetired = len(vars)
+	if !e.AddClause(unit) {
+		// Root-UNSAT; nothing else can run on this enumerator.
+		e.groupClauses = e.groupClauses[:0]
+		return out
+	}
+	// 1. Tombstone the group clauses and drop their occurrence entries.
+	// The unit made every one root-satisfied, so removal changes no
+	// model and invalidates no learned clause.
+	for _, ci := range e.groupClauses {
+		cl := e.orig[ci]
+		if cl.dead || e.satBy[ci] < 0 {
+			// satBy < 0 would mean a group clause without the gating
+			// literal — a protocol violation; leave it live rather than
+			// unsoundly deleting a constraint.
+			continue
+		}
+		cl.dead = true
+		out.OrigRetired++
+		for _, l := range cl.lits {
+			e.removeOcc(l, ci)
+		}
+	}
+	e.groupClauses = e.groupClauses[:0]
+	// 2. GC learned clauses mentioning a retired variable. With the
+	// activation literal forced false they are permanently satisfied (or
+	// mention a forever-unassignable selector) — keeping them would only
+	// burden the watch lists across later steps.
+	for _, v := range vars {
+		e.seen[v] = 1
+	}
+	kept := e.learned[:0]
+	for _, cl := range e.learned {
+		drop := false
+		for _, l := range cl.lits {
+			if e.seen[l.Var()] != 0 {
+				drop = true
+				break
+			}
+		}
+		if drop {
+			cl.dead = true
+			out.LearnedDropped++
+		} else {
+			kept = append(kept, cl)
+		}
+	}
+	for i := len(kept); i < len(e.learned); i++ {
+		e.learned[i] = nil
+	}
+	e.learned = kept
+	out.LearnedKept = len(kept)
+	for _, v := range vars {
+		e.seen[v] = 0
+	}
+	// 3. Sweep every watch list once, dropping dead clauses. bcp
+	// migrates watchers between lists, so per-clause unlinking is not
+	// possible; the full sweep between steps is.
+	for li := range e.watches {
+		ws := e.watches[li]
+		outWs := ws[:0]
+		for _, wt := range ws {
+			if !wt.cl.dead {
+				outWs = append(outWs, wt)
+			}
+		}
+		for i := len(outWs); i < len(ws); i++ {
+			ws[i] = watcher{}
+		}
+		e.watches[li] = outWs
+	}
+	// 4. Invalidate memo entries whose residual embedded a group clause.
+	for _, s := range e.stepSigs {
+		if _, ok := e.memo[s]; ok {
+			delete(e.memo, s)
+			out.MemoInvalidated++
+		}
+	}
+	e.stepSigs = e.stepSigs[:0]
+	return out
+}
+
+// removeOcc swap-removes clause ci from l's occurrence list. Occurrence
+// order does not influence results (enqueue/popLevel visit all entries),
+// so the in-place shrink is safe.
+func (e *Enumerator) removeOcc(l lit.Lit, ci int32) {
+	occ := e.occ[l]
+	for i, x := range occ {
+		if x == ci {
+			occ[i] = occ[len(occ)-1]
+			e.occ[l] = occ[:len(occ)-1]
+			return
+		}
+	}
+}

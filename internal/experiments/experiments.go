@@ -57,6 +57,13 @@ var RunBudget budget.Budget
 // same solution sets — only wall-clock moves.
 var RunWorkers int
 
+// RunIncremental, when set, makes the iterated experiments (Table 3
+// reachability) reuse one solver session and BDD manager across steps
+// (-incremental on the CLI). The tables are unchanged by construction —
+// the incremental path produces bit-identical frontiers — only
+// wall-clock moves.
+var RunIncremental bool
+
 // RunStats, when non-nil, collects per-workload counters: each run gets
 // a "circuit/engine" phase beneath it.
 var RunStats *stats.Registry
@@ -234,7 +241,7 @@ func Table3(maxSteps int) (*stats.Table, []Row) {
 		for _, eng := range []preimage.Engine{
 			preimage.EngineSuccessDriven, preimage.EngineBlocking, preimage.EngineBDD,
 		} {
-			opts := preimage.Options{Engine: eng, Budget: RunBudget}
+			opts := preimage.Options{Engine: eng, Budget: RunBudget, Incremental: RunIncremental}
 			if RunWorkers > 1 {
 				opts.Parallel = RunWorkers
 			}

@@ -59,6 +59,17 @@ func AddBudgetFlags(fs *flag.FlagSet) *BudgetFlags {
 	return bf
 }
 
+// AddIncrementalFlag registers -incremental on fs: iterated reachability
+// entry points then keep one persistent solver session and BDD manager
+// across steps instead of re-encoding the circuit per step. Results are
+// bit-identical to the non-incremental runs; budgets become
+// session-global. Registered separately from AddBudgetFlags because only
+// the reachability-iterating tools can honor it.
+func AddIncrementalFlag(fs *flag.FlagSet) *bool {
+	return fs.Bool("incremental", false,
+		"reuse one solver session and BDD manager across reachability steps (bit-identical results, session-global budgets)")
+}
+
 // Budget builds the resource budget described by the parsed flags. The
 // returned budget is relative (Timeout, not Deadline); the library
 // materializes it once at the outermost entry point.

@@ -339,10 +339,16 @@ func sequential(f *cnf.Formula, space *cube.Space, opts Options) *Result {
 }
 
 type worker struct {
-	id          int
-	f           *cnf.Formula
-	space       *cube.Space
-	core        core.Options
+	id    int
+	f     *cnf.Formula
+	space *cube.Space
+	core  core.Options
+	// e, when non-nil, is a persistent enumerator reused across runs (a
+	// pool.Session worker); otherwise a fresh one is built from f/core.
+	e *core.Enumerator
+	// base literals are assumed before every subcube's guiding-path
+	// assumptions (a Session's per-step activation literal).
+	base        []lit.Lit
 	thresh      uint64
 	deques      []*deque
 	pending     *atomic.Int64
@@ -354,7 +360,11 @@ type worker struct {
 }
 
 func (w *worker) run() {
-	e := core.New(w.f, w.space, w.core)
+	e := w.e
+	if e == nil {
+		e = core.New(w.f, w.space, w.core)
+	}
+	decBase := e.Stats().Decisions
 	my := w.deques[w.id]
 	var exit workerExit
 	var buf []lit.Lit
@@ -385,7 +395,7 @@ func (w *worker) run() {
 			w.pending.Add(-1)
 			continue
 		}
-		buf = sc.Assumptions(w.space, buf[:0])
+		buf = sc.Assumptions(w.space, append(buf[:0], w.base...))
 		limit := w.thresh
 		if _, _, can := sc.Children(w.space); !can {
 			limit = 0 // cannot split further: run the subcube to completion
@@ -426,7 +436,7 @@ func (w *worker) run() {
 	}
 	exit.kernel = e.Manager().Kernel()
 	exit.nodes = e.Manager().NumNodes()
-	exit.decisions = e.Stats().Decisions
+	exit.decisions = e.Stats().Decisions - decBase
 	w.msgs <- mergeMsg{exit: &exit}
 }
 

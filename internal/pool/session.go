@@ -1,0 +1,375 @@
+package pool
+
+// Session is the persistent-worker variant of Enumerate for incremental
+// reachability (internal/incr): the enumerators — solver trails, learned
+// clauses, memo tables, private BDD managers — and the parent merge
+// manager live across any number of Run calls, so step k+1 starts from
+// everything step k learned about the circuit. Between runs the caller
+// retargets every enumerator through the broadcast group API (NewVar /
+// BeginGroup / AddGroupClause / RetireGroup), which keeps the worker
+// solvers' variable spaces in lockstep.
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"allsatpre/internal/allsat"
+	"allsatpre/internal/bdd"
+	"allsatpre/internal/budget"
+	"allsatpre/internal/cnf"
+	"allsatpre/internal/core"
+	"allsatpre/internal/cube"
+	"allsatpre/internal/lit"
+	"allsatpre/internal/partition"
+)
+
+// Session owns a set of persistent enumerators and their merge manager.
+// Not safe for concurrent use: one Run (or retarget) at a time.
+type Session struct {
+	space   *cube.Space
+	es      []*core.Enumerator
+	man     *bdd.Manager
+	workers int
+	thresh  uint64
+	prefix  int
+	budget  budget.Budget // materialized; Ctx is the session context
+	cancel  context.CancelFunc
+	// decisions enforces a session-global decision cap across workers
+	// and steps (the incremental analogue of the fresh path's per-step
+	// cap: a budget is a resource allowance for the whole run).
+	decisions atomic.Uint64
+	mergeDead bool
+}
+
+// SessionRetireStats aggregates RetireGroup over the session's workers:
+// clause-group bookkeeping is identical on every worker (same clauses in
+// lockstep), so OrigRetired/VarsRetired come from one worker, while the
+// learned-clause and memo effects are summed across workers.
+type SessionRetireStats struct {
+	OrigRetired     int
+	VarsRetired     int
+	LearnedKept     int
+	LearnedDropped  int
+	MemoInvalidated int
+}
+
+// NewSession builds a session over the formula with max(1, Workers)
+// persistent enumerators. With one worker the merge manager is the
+// enumerator's own manager (no snapshot round-trips at all); with more,
+// per-run snapshots merge into one persistent parent manager whose
+// variable order is the projection order. Core.Budget is ignored; pass
+// the session budget (covering all runs) in Budget.
+func NewSession(f *cnf.Formula, space *cube.Space, opts Options) *Session {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if space.Size() == 0 {
+		workers = 1
+	}
+	b := opts.Budget.Materialize()
+	base := context.Background()
+	if b.Ctx != nil {
+		base = b.Ctx
+	}
+	ctx, cancel := context.WithCancel(base)
+	b.Ctx = ctx
+
+	s := &Session{
+		space:   space,
+		workers: workers,
+		budget:  b,
+		cancel:  cancel,
+	}
+	s.thresh = opts.SplitThreshold
+	if s.thresh == 0 {
+		s.thresh = DefaultSplitThreshold
+	}
+	s.prefix = opts.PrefixDepth
+	if s.prefix <= 0 {
+		s.prefix = partition.PrefixDepth(space, workers, 0)
+	}
+
+	co := opts.Core
+	co.Budget = b
+	maxDec := b.MergeDecisions(co.MaxDecisions)
+	co.Budget.MaxDecisions = 0
+	co.MaxDecisions = 0
+	if maxDec > 0 {
+		dec := &s.decisions
+		co.OnDecision = func() budget.Reason {
+			if dec.Add(1) > maxDec {
+				return budget.Decisions
+			}
+			return budget.None
+		}
+	}
+	s.es = make([]*core.Enumerator, workers)
+	for i := range s.es {
+		s.es[i] = core.New(f, space, co)
+	}
+	if workers == 1 {
+		s.man = s.es[0].Manager()
+	} else {
+		s.man = bdd.NewOrdered(space.Vars())
+	}
+	return s
+}
+
+// Close releases the session's context. Run must not be called after.
+func (s *Session) Close() { s.cancel() }
+
+// Workers reports the effective worker count.
+func (s *Session) Workers() int { return s.workers }
+
+// Manager returns the persistent merge manager Run results live in.
+func (s *Session) Manager() *bdd.Manager { return s.man }
+
+// NewVar allocates one fresh variable on every worker solver, keeping
+// their variable spaces identical, and returns its (shared) id.
+func (s *Session) NewVar() lit.Var {
+	v := s.es[0].NewVar()
+	for _, e := range s.es[1:] {
+		if w := e.NewVar(); w != v {
+			panic("pool: session enumerators disagree on variable ids")
+		}
+	}
+	return v
+}
+
+// NumVars reports the shared solver variable count.
+func (s *Session) NumVars() int { return s.es[0].NumVars() }
+
+// AddClause adds a permanent clause on every worker; false when the
+// formula became UNSAT at the root.
+func (s *Session) AddClause(lits ...lit.Lit) bool {
+	ok := true
+	for _, e := range s.es {
+		ok = e.AddClause(lits...) && ok
+	}
+	return ok
+}
+
+// BeginGroup opens a clause group on every worker.
+func (s *Session) BeginGroup() {
+	for _, e := range s.es {
+		e.BeginGroup()
+	}
+}
+
+// AddGroupClause adds a group clause on every worker.
+func (s *Session) AddGroupClause(lits ...lit.Lit) bool {
+	ok := true
+	for _, e := range s.es {
+		ok = e.AddGroupClause(lits...) && ok
+	}
+	return ok
+}
+
+// RetireGroup retires the open group on every worker.
+func (s *Session) RetireGroup(unit lit.Lit, vars []lit.Var) SessionRetireStats {
+	var out SessionRetireStats
+	for i, e := range s.es {
+		rs := e.RetireGroup(unit, vars)
+		if i == 0 {
+			out.OrigRetired = rs.OrigRetired
+			out.VarsRetired = rs.VarsRetired
+		}
+		out.LearnedKept += rs.LearnedKept
+		out.LearnedDropped += rs.LearnedDropped
+		out.MemoInvalidated += rs.MemoInvalidated
+	}
+	return out
+}
+
+// LearnedCount sums the live learned clauses across workers.
+func (s *Session) LearnedCount() int {
+	n := 0
+	for _, e := range s.es {
+		n += e.LearnedCount()
+	}
+	return n
+}
+
+// MemoSize sums the memo entries across workers.
+func (s *Session) MemoSize() int {
+	n := 0
+	for _, e := range s.es {
+		n += e.MemoSize()
+	}
+	return n
+}
+
+// Run enumerates the solutions under the base assumptions (typically the
+// current step's activation literal), reusing the persistent workers.
+// The result Set lives in the session's merge manager; with >1 workers
+// the merged set is bit-identical to a one-worker run over the same
+// solver state. Base literals over non-projection variables (activation
+// literals) do not enter the set.
+func (s *Session) Run(base []lit.Lit) *Result {
+	if s.workers == 1 {
+		return s.runSequential(base)
+	}
+	return s.runParallel(base)
+}
+
+func (s *Session) runSequential(base []lit.Lit) *Result {
+	e := s.es[0]
+	sub := e.EnumerateUnder(base, 0)
+	set := sub.Set
+	if sub.Status != core.SubSAT {
+		set = bdd.False
+	}
+	st := sub.Stats
+	st.Kernel = s.man.Kernel()
+	st.BDDNodes = s.man.NumNodes()
+	return &Result{
+		Manager: s.man,
+		Set:     set,
+		Stats:   st,
+		Pool:    PoolStats{Workers: 1, Subcubes: 1},
+		Aborted: sub.Aborted,
+		Reason:  sub.Reason,
+	}
+}
+
+func (s *Session) runParallel(base []lit.Lit) *Result {
+	tasks := partition.Split(s.space, s.prefix)
+	deques := make([]*deque, s.workers)
+	for i := range deques {
+		deques[i] = newDeque()
+	}
+	for i, t := range tasks {
+		deques[i%s.workers].push(encodeTask(t))
+	}
+	var pending atomic.Int64
+	pending.Store(int64(len(tasks)))
+
+	// Every abort reason here is a session-global budget condition
+	// (deadline, cancellation, decision/conflict/node caps), so the
+	// first abort ends not just this run but the session: cancelling the
+	// session context stops the siblings promptly, and the enumerators'
+	// own abort state is sticky anyway.
+	var abortReason atomic.Int32
+	recordAbort := func(r budget.Reason) {
+		if r != budget.None && abortReason.CompareAndSwap(0, int32(r)) {
+			s.cancel()
+		}
+	}
+	aborted := func() bool { return abortReason.Load() != 0 }
+
+	// Failed-assumption patterns are valid only under the current target:
+	// scoped to this run. Base literals (activation vars, outside the
+	// projection space) are stripped before pattern extraction — the base
+	// holds for the entire run, so a conflict "base + prefix" prunes
+	// every subcube containing the prefix.
+	isBase := make(map[lit.Var]bool, len(base))
+	for _, l := range base {
+		isBase[l.Var()] = true
+	}
+	var failMu sync.Mutex
+	var fails []partition.FailedPattern
+	addFail := func(failed []lit.Lit) {
+		kept := failed[:0]
+		for _, l := range failed {
+			if !isBase[l.Var()] {
+				kept = append(kept, l)
+			}
+		}
+		if p, ok := partition.PatternOf(s.space, kept); ok {
+			failMu.Lock()
+			fails = append(fails, p)
+			failMu.Unlock()
+		}
+	}
+	prunedBy := func(sc partition.Subcube) bool {
+		failMu.Lock()
+		defer failMu.Unlock()
+		for _, p := range fails {
+			if p.Prunes(sc) {
+				return true
+			}
+		}
+		return false
+	}
+
+	msgs := make(chan mergeMsg, s.workers*4)
+	var wg sync.WaitGroup
+	for id := 0; id < s.workers; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			w := &worker{
+				id:          id,
+				e:           s.es[id],
+				base:        base,
+				space:       s.space,
+				thresh:      s.thresh,
+				deques:      deques,
+				pending:     &pending,
+				msgs:        msgs,
+				recordAbort: recordAbort,
+				aborted:     aborted,
+				prunedBy:    prunedBy,
+				addFail:     addFail,
+			}
+			w.run()
+		}(id)
+	}
+	go func() {
+		wg.Wait()
+		close(msgs)
+	}()
+
+	set := bdd.False
+	var total allsat.Stats
+	var kernel bdd.KernelStats
+	nodesSum := 0
+	pst := PoolStats{Workers: s.workers, MinWorkerDecisions: ^uint64(0)}
+	for m := range msgs {
+		if m.exit != nil {
+			kernel.Merge(m.exit.kernel)
+			nodesSum += m.exit.nodes
+			pst.Steals += m.exit.steals
+			pst.Splits += m.exit.splits
+			pst.UnsatSubcubes += m.exit.unsat
+			pst.Pruned += m.exit.pruned
+			pst.Subcubes += m.exit.done
+			pst.Idle += m.exit.idle
+			if m.exit.decisions > pst.MaxWorkerDecisions {
+				pst.MaxWorkerDecisions = m.exit.decisions
+			}
+			if m.exit.decisions < pst.MinWorkerDecisions {
+				pst.MinWorkerDecisions = m.exit.decisions
+			}
+			continue
+		}
+		addCounters(&total, m.stats)
+		if m.snap != nil && !s.mergeDead {
+			set = s.man.Or(set, s.man.Import(m.snap))
+			if cap := s.budget.MaxBDDNodes; cap > 0 && s.man.NumNodes() >= cap {
+				recordAbort(budget.Nodes)
+				// The parent manager is over its cap for good: no later
+				// run can merge either.
+				s.mergeDead = true
+			}
+		}
+	}
+	if pst.MinWorkerDecisions == ^uint64(0) {
+		pst.MinWorkerDecisions = 0
+	}
+
+	kernel.Merge(s.man.Kernel())
+	total.Kernel = kernel
+	total.BDDNodes = nodesSum + s.man.NumNodes()
+	return &Result{
+		Manager: s.man,
+		Set:     set,
+		Stats:   total,
+		Pool:    pst,
+		Aborted: abortReason.Load() != 0,
+		Reason:  budget.Reason(abortReason.Load()),
+	}
+}

@@ -49,18 +49,40 @@ func Image(c *circuit.Circuit, init *cube.Cover, opts Options) (*Result, error) 
 		return nil, err
 	}
 
-	// Expand the (deduplicated) projection cover back onto the full latch
-	// order. Latches whose next-state functions share a gate share a
-	// projection variable; if that variable is free in a cube, the latch
-	// bits are "free but equal", which a cube cannot express — such cubes
-	// are split on the shared variable's two values.
+	states := expandNextCover(inst.NextVars, projSpace, res.Cover, stateSpace)
+	states.Reduce()
+	out := &Result{
+		States:      states,
+		StateSpace:  stateSpace,
+		Stats:       res.Stats,
+		BDDNodes:    res.Stats.BDDNodes,
+		Engine:      opts.Engine,
+		Aborted:     res.Aborted,
+		AbortReason: res.Reason,
+	}
+	// Each assignment to the deduplicated next-state variables maps to
+	// exactly one state (shared latches just repeat a bit), so the
+	// engine's minterm count is already the state count.
+	out.Count = res.Count
+	recordStats(opts.Stats, out, time.Since(start))
+	return out, nil
+}
+
+// expandNextCover expands a cover over the deduplicated next-state
+// variable space back onto the full latch order. Latches whose next-state
+// functions share a gate share a projection variable; if that variable is
+// free in a cube, the latch bits are "free but equal", which a cube
+// cannot express — such cubes are split on the shared variable's two
+// values. Shared variables are scanned in latch order so the expansion —
+// and hence the produced cube order — is deterministic.
+func expandNextCover(nextVars []lit.Var, projSpace *cube.Space, cover *cube.Cover, stateSpace *cube.Space) *cube.Cover {
+	counts := map[lit.Var]int{}
+	for _, v := range nextVars {
+		counts[v]++
+	}
 	sharedFree := func(cb cube.Cube) lit.Var {
-		counts := map[lit.Var]int{}
-		for _, v := range inst.NextVars {
-			counts[v]++
-		}
-		for v, n := range counts {
-			if n > 1 && cb[projSpace.PosOf(v)] == lit.Unknown {
+		for _, v := range nextVars {
+			if counts[v] > 1 && cb[projSpace.PosOf(v)] == lit.Unknown {
 				return v
 			}
 		}
@@ -78,27 +100,15 @@ func Image(c *circuit.Circuit, init *cube.Cover, opts Options) (*Result, error) 
 			return
 		}
 		sc := stateSpace.FullCube()
-		for i, v := range inst.NextVars {
+		for i, v := range nextVars {
 			sc[i] = cb[projSpace.PosOf(v)]
 		}
 		states.Add(sc)
 	}
-	for _, cb := range res.Cover.Cubes() {
+	for _, cb := range cover.Cubes() {
 		expand(cb)
 	}
-	states.Reduce()
-	out := &Result{
-		States:      states,
-		StateSpace:  stateSpace,
-		Stats:       res.Stats,
-		BDDNodes:    res.Stats.BDDNodes,
-		Engine:      opts.Engine,
-		Aborted:     res.Aborted,
-		AbortReason: res.Reason,
-	}
-	out.Count = countStates(states)
-	recordStats(opts.Stats, out, time.Since(start))
-	return out, nil
+	return states
 }
 
 // dedupVars removes duplicate variables while preserving first-occurrence

@@ -32,7 +32,10 @@ func KStepPreimage(c *circuit.Circuit, target *cube.Cover, k int, opts Options) 
 		return nil, fmt.Errorf("preimage: target has %d positions, circuit has %d latches",
 			target.Space().Size(), len(c.Latches))
 	}
-	enc, err := tseitin.Encode(c)
+	if useIncremental(opts) {
+		return kstepIncremental(c, target, k, opts)
+	}
+	enc, err := tseitin.EncodeCached(c)
 	if err != nil {
 		return nil, err
 	}
@@ -123,6 +126,8 @@ func KStepPreimage(c *circuit.Circuit, target *cube.Cover, k int, opts Options) 
 		Aborted:     res.Aborted,
 		AbortReason: res.Reason,
 	}
-	out.Count = countStates(states)
+	// The projection space is exactly the frame-0 state vector, so the
+	// engine's minterm count is already the state count.
+	out.Count = res.Count
 	return out, nil
 }

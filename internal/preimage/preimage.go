@@ -114,6 +114,26 @@ type Options struct {
 	// known states. The fixpoint and reported per-distance frontiers are
 	// unchanged; only the target handed to the next preimage differs.
 	FrontierSimplify bool
+	// Incremental makes the iterated entry points (Reach, ForwardReach,
+	// KStepPreimage, CheckReachable's trace extraction) keep one
+	// persistent solver session and one shared BDD manager across steps
+	// (internal/incr): the circuit is encoded once, each step's target is
+	// gated on a fresh activation literal, and learned clauses plus the
+	// success-driven memo survive retargeting. Frontiers, counts, and
+	// verdicts are bit-identical to the fresh-instance path; only the
+	// resource accounting differs (budgets are session-global instead of
+	// per-step, see DESIGN.md §10). It applies to the success-driven
+	// engine without EliminateAux/Restrict; other configurations fall
+	// back to the fresh path. Single-step Compute ignores it.
+	Incremental bool
+	// ShareManager, when non-nil, asks the success-driven engine to also
+	// export the state projection of its solution set into this manager
+	// (Result.Set/HasSet), skipping the cover→BDD re-import for callers
+	// that keep their own visited set — Reach's fixpoint loop. The set is
+	// renamed onto the canonical state space (variable k = latch k), so
+	// the manager must be ordered over those variables — typically
+	// bdd.NewOrdered(StateSpace(c).Vars()).
+	ShareManager *bdd.Manager
 	// Budget imposes resource limits (deadline, context cancellation,
 	// decision/conflict/cube caps, BDD node cap) on the whole computation,
 	// shared by every engine it drives. A relative Timeout is resolved to
@@ -154,6 +174,12 @@ type Result struct {
 	// missing. AbortReason says which limit tripped.
 	Aborted     bool
 	AbortReason budget.Reason
+	// Set, valid when HasSet, is the state set as a BDD over the
+	// canonical state space in the manager the caller passed via
+	// Options.ShareManager — the same set States covers, without the
+	// cover→BDD re-import.
+	Set    bdd.Ref
+	HasSet bool
 }
 
 // StateSpace builds the canonical state space of a circuit: position k is
@@ -208,29 +234,8 @@ func Compute(c *circuit.Circuit, target *cube.Cover, opts Options) (*Result, err
 func runSATEngine(f *cnf.Formula, projSpace *cube.Space, opts Options) (*allsat.Result, error) {
 	switch opts.Engine {
 	case EngineSuccessDriven:
-		co := opts.Core
-		if co.IsZero() {
-			co = core.DefaultOptions()
-		}
-		if opts.Parallel > 1 {
-			// The pool takes the run budget directly and enforces it
-			// globally across workers; an explicit engine budget wins.
-			bud := co.Budget
-			if bud.IsZero() {
-				bud = opts.Budget
-			}
-			co.Budget = budget.Budget{}
-			return pool.EnumerateToResult(f, projSpace, pool.Options{
-				Workers: opts.Parallel,
-				Core:    co,
-				Budget:  bud,
-				Stats:   opts.Stats,
-			}), nil
-		}
-		if co.Budget.IsZero() {
-			co.Budget = opts.Budget
-		}
-		return core.EnumerateToResult(f, projSpace, co), nil
+		_, ar := runSuccessDriven(f, projSpace, opts)
+		return ar, nil
 	case EngineBlocking, EngineLifting:
 		as := opts.AllSAT
 		if as.Budget.IsZero() {
@@ -246,6 +251,43 @@ func runSATEngine(f *cnf.Formula, projSpace *cube.Space, opts Options) (*allsat.
 	default:
 		return nil, fmt.Errorf("preimage: unknown engine %v", opts.Engine)
 	}
+}
+
+// runSuccessDriven runs the success-driven engine — pooled for any worker
+// count (one worker short-circuits to the plain sequential enumerator
+// inside the pool) — and returns both the merged BDD (manager + set) and
+// the allsat-shaped result extracted from it. The run budget is enforced
+// by the pool; an explicitly set engine budget wins over opts.Budget.
+func runSuccessDriven(f *cnf.Formula, projSpace *cube.Space, opts Options) (*pool.Result, *allsat.Result) {
+	co := opts.Core
+	if co.IsZero() {
+		co = core.DefaultOptions()
+	}
+	bud := co.Budget
+	if bud.IsZero() {
+		bud = opts.Budget
+	}
+	co.Budget = budget.Budget{}
+	workers := opts.Parallel
+	if workers < 1 {
+		workers = 1
+	}
+	pr := pool.Enumerate(f, projSpace, pool.Options{
+		Workers: workers,
+		Core:    co,
+		Budget:  bud,
+		Stats:   opts.Stats,
+	})
+	ar := &allsat.Result{
+		Space:   projSpace,
+		Cover:   pr.Manager.ISOP(pr.Set, projSpace),
+		Count:   pr.Manager.SatCount(pr.Set),
+		Stats:   pr.Stats,
+		Aborted: pr.Aborted,
+		Reason:  pr.Reason,
+	}
+	ar.Stats.Cubes = uint64(ar.Cover.Len())
+	return pr, ar
 }
 
 // recordStats publishes a result's counters into the run registry.
@@ -380,37 +422,7 @@ func computeBDDParallel(c *circuit.Circuit, target *cube.Cover, opts Options) (*
 // projectionOrder builds the decision/projection variable order for the
 // SAT engines from the instance according to the ablation options.
 func projectionOrder(inst *trans.Instance, opts Options) ([]lit.Var, []string) {
-	st, in := inst.StateVars, inst.InputVars
-	stateNames := make([]string, len(st))
-	for i := range st {
-		stateNames[i] = inst.StateSpace.Name(i)
-	}
-	inputNames := make([]string, len(in))
-	for i := range in {
-		inputNames[i] = inst.FullSpace.Name(len(st) + i)
-	}
-	var vars []lit.Var
-	var names []string
-	switch {
-	case opts.Interleave:
-		for i := 0; i < len(st) || i < len(in); i++ {
-			if i < len(st) {
-				vars = append(vars, st[i])
-				names = append(names, stateNames[i])
-			}
-			if i < len(in) {
-				vars = append(vars, in[i])
-				names = append(names, inputNames[i])
-			}
-		}
-	case opts.InputFirstOrder:
-		vars = append(append(vars, in...), st...)
-		names = append(append(names, inputNames...), stateNames...)
-	default:
-		vars = append(append(vars, st...), in...)
-		names = append(append(names, stateNames...), inputNames...)
-	}
-	return vars, names
+	return inst.OrderedProjection(opts.InputFirstOrder, opts.Interleave)
 }
 
 func computeSAT(c *circuit.Circuit, target *cube.Cover, opts Options) (*Result, error) {
@@ -441,9 +453,15 @@ func computeSAT(c *circuit.Circuit, target *cube.Cover, opts Options) (*Result, 
 		cnf.EliminateVars(inst.F, func(v lit.Var) bool { return !isProj[v] }, 0)
 	}
 
-	res, err := runSATEngine(inst.F, projSpace, opts)
-	if err != nil {
-		return nil, err
+	var res *allsat.Result
+	var pr *pool.Result
+	if opts.Engine == EngineSuccessDriven {
+		pr, res = runSuccessDriven(inst.F, projSpace, opts)
+	} else {
+		res, err = runSATEngine(inst.F, projSpace, opts)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	stateSpace := StateSpace(c)
@@ -471,7 +489,28 @@ func computeSAT(c *circuit.Circuit, target *cube.Cover, opts Options) (*Result, 
 		Aborted:     res.Aborted,
 		AbortReason: res.Reason,
 	}
-	out.Count = countStates(states)
+	if pr != nil {
+		// The engine handed back its merged BDD: the state count and (when
+		// requested) the state set come straight from it — no third
+		// manager, no cover round-trip. ∃x·set counted over the state
+		// variables equals the minterm count of the projected cover.
+		stateSet := pr.Manager.ExistsVars(pr.Set, inst.InputVars)
+		out.Count = pr.Manager.SatCountIn(stateSet, inst.StateVars)
+		if opts.ShareManager != nil {
+			// Rename CNF state vars to canonical positions; the relative
+			// order is the latch order in both managers, so the import
+			// stays on the fast structural path.
+			sub := make(map[lit.Var]lit.Var, len(inst.StateVars))
+			for i, v := range inst.StateVars {
+				sub[v] = lit.Var(i)
+			}
+			snap := pr.Manager.Export(stateSet).Rename(sub)
+			out.Set = opts.ShareManager.Import(snap)
+			out.HasSet = true
+		}
+	} else {
+		out.Count = countStates(states)
+	}
 	if opts.WithInputs {
 		// Re-express the projection cover over (state ++ input) order.
 		pairSpace := pairSpace(inst)

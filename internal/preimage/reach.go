@@ -54,9 +54,17 @@ type ReachResult struct {
 // never claimed from a truncated layer.
 func Reach(c *circuit.Circuit, target *cube.Cover, maxSteps int, opts Options) (*ReachResult, error) {
 	opts.Budget = opts.Budget.Materialize()
+	if useIncremental(opts) {
+		return reachIncremental(c, target, maxSteps, opts)
+	}
 	runStats := opts.Stats
 	stateSpace := StateSpace(c)
 	man := bdd.NewOrdered(stateSpace.Vars())
+	if opts.Engine == EngineSuccessDriven {
+		// Let Compute export each step's state set straight into our
+		// manager instead of round-tripping it through a cover.
+		opts.ShareManager = man
+	}
 
 	targetC := canonicalize(stateSpace, target)
 	visited := man.FromCover(targetC)
@@ -90,7 +98,12 @@ func Reach(c *circuit.Circuit, target *cube.Cover, maxSteps int, opts Options) (
 				res.AbortReason = pre.AbortReason
 			}
 		}
-		preSet := man.FromCover(pre.States)
+		var preSet bdd.Ref
+		if pre.HasSet {
+			preSet = pre.Set
+		} else {
+			preSet = man.FromCover(pre.States)
+		}
 		newSet := man.Diff(preSet, visited)
 		if newSet == bdd.False {
 			// Convergence may be claimed only from a complete layer: an

@@ -19,6 +19,9 @@ import (
 // truncated layers.
 func ForwardReach(c *circuit.Circuit, init *cube.Cover, maxSteps int, opts Options) (*ReachResult, error) {
 	opts.Budget = opts.Budget.Materialize()
+	if useIncremental(opts) {
+		return forwardReachIncremental(c, init, maxSteps, opts)
+	}
 	runStats := opts.Stats
 	stateSpace := StateSpace(c)
 	man := bdd.NewOrdered(stateSpace.Vars())
@@ -205,8 +208,26 @@ func CheckReachable(c *circuit.Circuit, init, bad *cube.Cover, maxSteps int, opt
 	start := man.AnySat(man.And(initSet, layers[hitLayer]), stateSpace)
 	cur := cubeToState(start)
 	tr := &Trace{States: [][]bool{cur}}
+	var stepper *traceStepper
+	if opts.Incremental && hitLayer > 1 {
+		// One persistent solver for the whole trace instead of a fresh
+		// CNF + solver per layer. Any valid witness is acceptable, so the
+		// (legal) model differences a warmed-up solver may produce do not
+		// matter here.
+		s, err := newTraceStepper(c)
+		if err != nil {
+			return nil, err
+		}
+		stepper = s
+	}
 	for k := hitLayer - 1; k >= 0; k-- {
-		in, next, err := stepInto(c, cur, man.ISOP(layers[k], stateSpace))
+		var in, next []bool
+		var err error
+		if stepper != nil {
+			in, next, err = stepper.step(cur, man.ISOP(layers[k], stateSpace))
+		} else {
+			in, next, err = stepInto(c, cur, man.ISOP(layers[k], stateSpace))
+		}
 		if err != nil {
 			return nil, fmt.Errorf("preimage: trace extraction at layer %d: %w", k, err)
 		}

@@ -7,6 +7,21 @@
 //
 // It is the workhorse beneath the all-solutions enumeration engines in
 // internal/allsat and the blocking-clause preimage baseline.
+//
+// # Activation-literal protocol
+//
+// Incremental clients (internal/incr, the trace stepper in
+// internal/preimage) manage retractable clause groups with activation
+// literals in the Eén/Sörensson style: every clause of a group carries a
+// fresh literal ¬act, Solve is called with act among the assumptions to
+// enable the group, and the group is retired permanently by adding the
+// unit clause ¬act. The solver makes this sound without any special
+// support: a learned clause derived from a gated clause inherits ¬act
+// (assumption-level literals are never resolved away), so after the
+// retiring unit propagates, every such learned clause is satisfied and
+// inert. Learned clauses that never mention a retired activation literal
+// remain live across retargetings — that retention is the point of the
+// protocol, and TestActivationLiteralRetire pins the contract.
 package sat
 
 import (

@@ -567,3 +567,57 @@ func TestEnsureVarsBulkGrow(t *testing.T) {
 		t.Fatalf("NumVars shrank to %d", s.NumVars())
 	}
 }
+
+func TestActivationLiteralRetire(t *testing.T) {
+	// Pins the activation-literal contract the incremental reach session
+	// (internal/incr) relies on: a clause group gated on ¬act is enabled
+	// by assuming act, survives UNSAT answers, and is permanently retired
+	// by the unit clause ¬act — after which the solver behaves as if the
+	// group was never added.
+	s := NewDefault()
+	act1, act2 := s.NewVar(), s.NewVar()
+	x, y := s.NewVar(), s.NewVar()
+	// Group 1: act1 → x, act1 → y. Group 2: act2 → ¬x.
+	s.AddClause(lit.Neg(act1), lit.Pos(x))
+	s.AddClause(lit.Neg(act1), lit.Pos(y))
+	s.AddClause(lit.Neg(act2), lit.Neg(x))
+
+	// Both groups active: x ∧ ¬x, so UNSAT, and the final conflict is
+	// over the activation assumptions only.
+	if st := s.Solve(lit.Pos(act1), lit.Pos(act2)); st != Unsat {
+		t.Fatalf("both groups: got %v, want UNSAT", st)
+	}
+	for _, l := range s.Conflict() {
+		if l != lit.Neg(act1) && l != lit.Neg(act2) {
+			t.Fatalf("conflict literal %v is not a negated activation assumption", l)
+		}
+	}
+
+	// Group 1 alone is satisfiable and forces x, y.
+	if st := s.Solve(lit.Pos(act1)); st != Sat {
+		t.Fatalf("group 1: got %v, want SAT", st)
+	}
+	if m := s.Model(); !m[x] || !m[y] {
+		t.Fatalf("group 1 model: x=%v y=%v, want both true", m[x], m[y])
+	}
+
+	// Retire group 1. The unit must be accepted, and from now on group 2
+	// alone governs: x is forced false, and re-assuming act1 is a
+	// top-level contradiction, not a crash.
+	if !s.AddClause(lit.Neg(act1)) {
+		t.Fatal("retiring unit ¬act1 rejected")
+	}
+	if st := s.Solve(lit.Pos(act2)); st != Sat {
+		t.Fatalf("after retire: got %v, want SAT", st)
+	}
+	if m := s.Model(); m[x] {
+		t.Fatal("after retire, group 2 should force x=false")
+	}
+	if st := s.Solve(lit.Pos(act1)); st != Unsat {
+		t.Fatalf("assuming retired act1: got %v, want UNSAT", st)
+	}
+	// And the solver keeps working without assumptions afterwards.
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("final solve: got %v, want SAT", st)
+	}
+}

@@ -68,3 +68,47 @@ func TestRegistryConcurrentHammer(t *testing.T) {
 		}
 	}
 }
+
+// TestRegistryIncrKeysHammer hammers the exact metric keys the
+// incremental reach session (internal/incr) publishes, concurrently with
+// snapshot readers. The incremental engine shares one registry between
+// the session goroutine, the per-worker pool goroutines, and whatever
+// reports stats at the end, so a lock-coverage regression on these keys
+// surfaces here under -race before it corrupts a real run's report.
+func TestRegistryIncrKeysHammer(t *testing.T) {
+	reg := NewRegistry("incr-hammer")
+	counters := []string{
+		"incr.steps", "incr.clauses-added", "incr.clauses-retired",
+		"incr.learned-dropped", "incr.act-vars-retired", "incr.memo-invalidated",
+	}
+	gauges := []string{"incr.learned-kept", "incr.learned-live", "incr.memo-size"}
+	const (
+		goroutines = 8
+		rounds     = 300
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				for _, k := range counters {
+					reg.Counter(k).Inc()
+				}
+				for _, k := range gauges {
+					reg.SetGauge(k, int64(i))
+				}
+				reg.AddDuration("incr.encode-saved", time.Microsecond)
+				if i%64 == 0 {
+					_ = reg.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, k := range counters {
+		if got := reg.Counter(k).Load(); got != goroutines*rounds {
+			t.Errorf("%s = %d, want %d", k, got, goroutines*rounds)
+		}
+	}
+}

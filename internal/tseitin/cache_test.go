@@ -1,0 +1,70 @@
+package tseitin
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"allsatpre/internal/gen"
+)
+
+func TestEncodeCachedReusesAndAgrees(t *testing.T) {
+	c := gen.Counter(6, true, false)
+	e1, err := EncodeCached(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := EncodeCached(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 != e2 {
+		t.Error("second EncodeCached of the same circuit did not reuse the encoding")
+	}
+	fresh, err := Encode(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(e1.F.Clauses, fresh.F.Clauses) {
+		t.Error("cached encoding clauses differ from a fresh Encode")
+	}
+	if !reflect.DeepEqual(e1.StateVars, fresh.StateVars) ||
+		!reflect.DeepEqual(e1.NextStateVars, fresh.NextStateVars) ||
+		!reflect.DeepEqual(e1.InputVars, fresh.InputVars) {
+		t.Error("cached encoding variable groups differ from a fresh Encode")
+	}
+
+	// A distinct circuit object gets its own encoding.
+	other := gen.Counter(6, true, false)
+	e3, err := EncodeCached(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e3 == e1 {
+		t.Error("different circuit objects shared an encoding")
+	}
+}
+
+func TestEncodeCachedConcurrent(t *testing.T) {
+	c := gen.GrayCounter(5)
+	var wg sync.WaitGroup
+	encs := make([]*Encoding, 8)
+	for i := range encs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e, err := EncodeCached(c)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			encs[i] = e
+		}(i)
+	}
+	wg.Wait()
+	for _, e := range encs {
+		if e == nil || !reflect.DeepEqual(e.F.Clauses, encs[0].F.Clauses) {
+			t.Fatal("concurrent EncodeCached returned inconsistent encodings")
+		}
+	}
+}

@@ -12,7 +12,7 @@
 #   scripts/bench.sh [out.json]          # default out: BENCH_1.json
 #
 # Environment knobs:
-#   BENCH_PATTERN   -bench regex            (default: Table|ParallelEnumerate)
+#   BENCH_PATTERN   -bench regex            (default: Table|ParallelEnumerate|ReachIncremental)
 #   BENCH_TIME      -benchtime              (default: 2x)
 #   BENCH_COUNT     -count                  (default: 2)
 #   BENCH_BASELINE  prior BENCH_*.json embedded as "baseline" for deltas
@@ -21,7 +21,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 OUT=${1:-BENCH_1.json}
-PATTERN=${BENCH_PATTERN:-'Table|ParallelEnumerate'}
+PATTERN=${BENCH_PATTERN:-'Table|ParallelEnumerate|ReachIncremental'}
 BENCHTIME=${BENCH_TIME:-2x}
 COUNT=${BENCH_COUNT:-2}
 LABEL=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)

@@ -14,4 +14,4 @@ go test -race -short ./...
 # thread and with real preemption under the race detector.
 GOMAXPROCS=1 go test -run 'TestDeterministic|TestAbortSoundness' ./internal/preimage/
 GOMAXPROCS=4 go test -race -run 'TestDeterministic|TestAbortSoundness' ./internal/preimage/
-go test -run '^$' -bench 'Table|ParallelEnumerate' -benchtime=1x -benchmem .
+go test -run '^$' -bench 'Table|ParallelEnumerate|ReachIncremental' -benchtime=1x -benchmem .
