@@ -10,9 +10,10 @@
 //   - Describe a target state set as "01X" cube patterns over the latches.
 //   - Compute its one-step preimage with Preimage, or iterate to a
 //     backward-reachability fixpoint with BackwardReach.
-//   - Choose among four engines: the paper's success-driven all-SAT
-//     enumerator (default), two blocking-clause all-SAT baselines, and a
-//     BDD relational-product baseline.
+//   - Choose among five engines: the paper's success-driven all-SAT
+//     enumerator (default), two blocking-clause all-SAT baselines, a
+//     blocking-clause-free disjoint enumerator, and a BDD
+//     relational-product baseline.
 //
 // Beyond one-step preimage the facade exposes the surrounding
 // model-checking loop: forward images (Image, ForwardReach), k-step
@@ -114,6 +115,7 @@ const (
 	EngineBlocking      = preimage.EngineBlocking
 	EngineLifting       = preimage.EngineLifting
 	EngineBDD           = preimage.EngineBDD
+	EngineDisjoint      = preimage.EngineDisjoint
 )
 
 // LoadBench reads a sequential circuit from an ISCAS-89 BENCH file.
@@ -401,6 +403,8 @@ func EnumerateDimacsOpts(r io.Reader, o DimacsOptions) (*allsat.Result, error) {
 		res = allsat.EnumerateBlocking(f, space, asOpts)
 	case EngineLifting:
 		res = allsat.EnumerateLifting(f, space, asOpts)
+	case EngineDisjoint:
+		res = allsat.EnumerateDisjoint(f, space, asOpts)
 	default:
 		return nil, fmt.Errorf("allsatpre: engine %v cannot enumerate raw CNF", engine)
 	}

@@ -94,11 +94,12 @@ func benchPreimage(b *testing.B, c *circuit.Circuit, target *cube.Cover, opts pr
 	b.ReportMetric(float64(states), "states")
 }
 
-// BenchmarkTable1 — single-step preimage across the three SAT engines
-// (blocking, lifting, success-driven) on the benchmark suite.
+// BenchmarkTable1 — single-step preimage across the four SAT engines
+// (blocking, lifting, disjoint, success-driven) on the benchmark suite.
 func BenchmarkTable1(b *testing.B) {
 	engines := []preimage.Engine{
-		preimage.EngineBlocking, preimage.EngineLifting, preimage.EngineSuccessDriven,
+		preimage.EngineBlocking, preimage.EngineLifting, preimage.EngineDisjoint,
+		preimage.EngineSuccessDriven,
 	}
 	for _, nc := range gen.Suite() {
 		target := benchTarget(nc.Circuit)
@@ -122,6 +123,36 @@ func BenchmarkTable2(b *testing.B) {
 		for _, eng := range []preimage.Engine{preimage.EngineSuccessDriven, preimage.EngineBDD} {
 			b.Run(fmt.Sprintf("%s/%s", nc.Name, eng), func(b *testing.B) {
 				benchPreimage(b, nc.Circuit, target, preimage.Options{Engine: eng})
+			})
+		}
+	}
+}
+
+// BenchmarkTable7 — clause-database growth shootout: the four SAT
+// engines with the peak added-clause count (blocking clauses + learnt
+// high-water mark) reported alongside time, so the recorded baselines
+// carry the memory story of the blocking-free disjoint engine.
+func BenchmarkTable7(b *testing.B) {
+	engines := []preimage.Engine{
+		preimage.EngineBlocking, preimage.EngineLifting, preimage.EngineDisjoint,
+		preimage.EngineSuccessDriven,
+	}
+	for _, nc := range gen.Suite() {
+		target := benchTarget(nc.Circuit)
+		for _, eng := range engines {
+			b.Run(fmt.Sprintf("%s/%s", nc.Name, eng), func(b *testing.B) {
+				b.ReportAllocs()
+				var peak, blocking uint64
+				for i := 0; i < b.N; i++ {
+					r, err := preimage.Compute(nc.Circuit, target, cappedOpts(eng))
+					if err != nil {
+						b.Fatal(err)
+					}
+					peak = r.Stats.BlockingClauses + r.Stats.PeakLearnts
+					blocking = r.Stats.BlockingClauses
+				}
+				b.ReportMetric(float64(peak), "peak-clauses")
+				b.ReportMetric(float64(blocking), "blocking")
 			})
 		}
 	}

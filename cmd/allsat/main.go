@@ -1,9 +1,9 @@
 // Command allsat enumerates all solutions of a DIMACS CNF file, projected
-// onto a variable set, using any of the three all-SAT engines.
+// onto a variable set, using any of the four all-SAT engines.
 //
 // Usage:
 //
-//	allsat [-engine success|blocking|lifting] [-proj 1,2,5] [-cubes] file.cnf
+//	allsat [-engine success|blocking|lifting|disjoint] [-proj 1,2,5] [-cubes] file.cnf
 //
 // The projection defaults to a "c proj ..." comment line in the file, or
 // all variables. With "-" as the file, stdin is read.
@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	engine := flag.String("engine", "success", "engine: success | blocking | lifting")
+	engine := flag.String("engine", "success", "engine: success | blocking | lifting | disjoint")
 	projFlag := flag.String("proj", "", "comma-separated 1-based projection variables")
 	forgetFlag := flag.String("forget", "", "comma-separated 1-based variables to quantify out (projection = all others); the result is ∃forget.F as a cube cover")
 	showCubes := flag.Bool("cubes", false, "print the solution cubes")
@@ -57,6 +57,8 @@ func main() {
 		eng = allsatpre.EngineBlocking
 	case "lifting":
 		eng = allsatpre.EngineLifting
+	case "disjoint":
+		eng = allsatpre.EngineDisjoint
 	default:
 		fatal(fmt.Errorf("unknown engine %q", *engine))
 	}

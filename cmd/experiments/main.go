@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "comma-separated subset: table1..table6, fig1..fig4")
+	only := flag.String("only", "", "comma-separated subset: table1..table7, fig1..fig4")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	steps := flag.Int("steps", 6, "step cap for table3 reachability")
 	bf := genspec.AddBudgetFlags(flag.CommandLine)
@@ -96,6 +96,10 @@ func main() {
 	}
 	if sel("table6") {
 		tb, _ := experiments.Table6()
+		emit(tb)
+	}
+	if sel("table7") {
+		tb, _ := experiments.Table7()
 		emit(tb)
 	}
 	bf.Report(os.Stdout, reg)

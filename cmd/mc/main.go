@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	mc [-engine success|blocking|lifting|bdd] [-steps N] \
+//	mc [-engine success|blocking|lifting|disjoint|bdd] [-steps N] \
 //	   circuit.bench|spec INIT-PATTERN BAD-PATTERN...
 //
 // The first pattern is the initial state set; the remaining patterns are
@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	engine := flag.String("engine", "success", "engine: success | blocking | lifting | bdd")
+	engine := flag.String("engine", "success", "engine: success | blocking | lifting | disjoint | bdd")
 	steps := flag.Int("steps", 0, "maximum preimage iterations (<= 0: unbounded)")
 	vcd := flag.String("vcd", "", "write the counterexample trace as a VCD waveform here")
 	bf := genspec.AddBudgetFlags(flag.CommandLine)

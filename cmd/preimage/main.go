@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	preimage [-engine success|blocking|lifting|bdd] [-inputs] [-cubes] \
+//	preimage [-engine success|blocking|lifting|disjoint|bdd] [-inputs] [-cubes] \
 //	         circuit.bench pattern [pattern ...]
 //
 // Each pattern is a "01X" string with one character per latch (declaration
@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	engine := flag.String("engine", "success", "engine: success | blocking | lifting | bdd")
+	engine := flag.String("engine", "success", "engine: success | blocking | lifting | disjoint | bdd")
 	withInputs := flag.Bool("inputs", false, "also report witness input assignments")
 	showCubes := flag.Bool("cubes", false, "print the preimage cubes")
 	kstep := flag.Int("kstep", 0, "with k > 0, enumerate all states reaching the target within k steps (one unrolled all-SAT call; SAT engines only)")

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	reach [-engine success|blocking|lifting|bdd] [-steps N] \
+//	reach [-engine success|blocking|lifting|disjoint|bdd] [-steps N] \
 //	      circuit.bench|spec pattern [pattern ...]
 //
 // -steps <= 0 (the default) runs to the fixpoint.
@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	engine := flag.String("engine", "success", "engine: success | blocking | lifting | bdd")
+	engine := flag.String("engine", "success", "engine: success | blocking | lifting | disjoint | bdd")
 	steps := flag.Int("steps", 0, "maximum preimage steps (<= 0: run to fixpoint)")
 	bf := genspec.AddBudgetFlags(flag.CommandLine)
 	incremental := genspec.AddIncrementalFlag(flag.CommandLine)

@@ -1,11 +1,12 @@
-// Engine shootout: the same preimage computed four ways, with search
+// Engine shootout: the same preimage computed five ways, with search
 // statistics side by side.
 //
 //	go run ./examples/engine-shootout
 //
-// Runs the success-driven solver, both blocking baselines, and the BDD
-// relational product on a random reconvergent circuit and on a multiplier
-// core, printing the per-engine work counters — a miniature version of
+// Runs the success-driven solver, both blocking baselines, the
+// blocking-clause-free disjoint enumerator, and the BDD relational
+// product on a random reconvergent circuit and on a multiplier core,
+// printing the per-engine work counters — a miniature version of
 // the repository's Table 1/2 experiments.
 package main
 
@@ -31,6 +32,7 @@ func main() {
 		allsatpre.EngineSuccessDriven,
 		allsatpre.EngineBlocking,
 		allsatpre.EngineLifting,
+		allsatpre.EngineDisjoint,
 		allsatpre.EngineBDD,
 	}
 	for _, w := range workloads {
@@ -60,7 +62,7 @@ func main() {
 		}
 		target := string(pat)
 		fmt.Printf("target: {%s}\n", target)
-		tb := stats.NewTable("", "engine", "states", "cubes", "decisions", "conflicts", "memo-hits", "bdd-nodes", "time")
+		tb := stats.NewTable("", "engine", "states", "cubes", "decisions", "conflicts", "peak-clauses", "memo-hits", "bdd-nodes", "time")
 		for _, eng := range engines {
 			t := stats.StartTimer()
 			r, err := allsatpre.Preimage(w.circuit, allsatpre.Options{Engine: eng}, target)
@@ -68,7 +70,8 @@ func main() {
 				log.Fatal(err)
 			}
 			tb.AddRow(eng.String(), r.Count.String(), r.States.Len(),
-				r.Stats.Decisions, r.Stats.Conflicts, r.Stats.CacheHits,
+				r.Stats.Decisions, r.Stats.Conflicts,
+				r.Stats.BlockingClauses+r.Stats.PeakLearnts, r.Stats.CacheHits,
 				r.BDDNodes, t.Elapsed())
 		}
 		tb.Render(os.Stdout)

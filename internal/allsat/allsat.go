@@ -2,7 +2,7 @@
 // given a CNF formula and a set of projection variables, it computes the
 // set of projected assignments extendable to a model, as a cube cover.
 //
-// Two baseline engines live here:
+// Three engines live here:
 //
 //   - EnumerateBlocking — the classical all-SAT loop: solve, project the
 //     model, add a blocking clause over every projection variable, repeat.
@@ -10,6 +10,10 @@
 //     (greedily minimized into a short cube whose every completion still
 //     satisfies the formula), so one blocking clause removes 2^k
 //     projections at once.
+//   - EnumerateDisjoint — blocking-clause-free enumeration by
+//     chronological backtracking with implicant shrinking (sat.ChronoEnum):
+//     pairwise-disjoint cubes and O(1) clause-database growth — one
+//     in-place flip per region instead of one blocking clause per cube.
 //
 // The paper's contribution — the success-driven enumerator that stores
 // solutions directly as an ROBDD and memoizes completed subproblems — is
@@ -38,8 +42,15 @@ type Stats struct {
 	// BlockingClauses / BlockingLits measure added blocking clauses.
 	BlockingClauses, BlockingLits uint64
 	// LiftedFree is the total count of projection variables freed by
-	// lifting (or by early cutoff in the success-driven engine).
+	// lifting (or by early cutoff in the success-driven engine, or by
+	// implicant shrinking in the disjoint engine).
 	LiftedFree uint64
+	// PeakLearnts is the high-water count of learnt clauses held by the
+	// underlying CDCL solver (summed across parallel workers, which run
+	// concurrently). Together with BlockingClauses it measures clause-
+	// database growth: the disjoint engine keeps BlockingClauses at zero
+	// by construction.
+	PeakLearnts uint64
 	// Decisions/Propagations/Conflicts come from the underlying search.
 	Decisions, Propagations, Conflicts uint64
 	// CacheLookups/CacheHits/CacheClears count success-driven memo
@@ -58,7 +69,8 @@ type Result struct {
 	// Space is the projection space (one position per projection var).
 	Space *cube.Space
 	// Cover is the set of projected solutions as cubes. Cubes may overlap
-	// (for the lifting engine); their union is exactly the projection.
+	// (for the lifting engine; the disjoint engine's are pairwise
+	// disjoint); their union is exactly the projection.
 	Cover *cube.Cover
 	// Count is the exact number of projected minterms.
 	Count *big.Int
@@ -75,6 +87,9 @@ type Result struct {
 // Options tunes the enumeration engines.
 type Options struct {
 	// MaxCubes bounds the number of enumerated cubes (0 = unlimited).
+	// The cap is exact for every worker count: a parallel run's merged
+	// cover contains exactly min(MaxCubes, |full cover|) cubes — workers
+	// claim cap slots atomically, so the cap is never overshot.
 	MaxCubes uint64
 	// SAT configures the underlying CDCL solver (zero value = defaults).
 	SAT sat.Options
@@ -100,93 +115,87 @@ func countCover(cv *cube.Cover) (*big.Int, int, bdd.KernelStats) {
 	return m.SatCount(f), m.NumNodes(), m.Kernel()
 }
 
+// engineKind selects which streaming iterator drives the shared
+// enumeration loop.
+type engineKind int
+
+const (
+	engBlocking engineKind = iota
+	engLifting
+	engDisjoint
+)
+
+// cubeIterator is the streaming surface shared by the per-engine
+// iterators; the sequential loop and the parallel workers drive it.
+type cubeIterator interface {
+	Next() (cube.Cube, bool)
+	Reason() budget.Reason
+	Stats() Stats
+}
+
+func newKindIterator(f *cnf.Formula, space *cube.Space, opts Options, eng engineKind) cubeIterator {
+	if eng == engDisjoint {
+		return NewDisjointIterator(f, space, opts)
+	}
+	return NewIterator(f, space, opts, eng == engLifting)
+}
+
 // EnumerateBlocking runs the classical blocking-clause all-SAT loop,
 // projecting onto the variables of space.
 func EnumerateBlocking(f *cnf.Formula, space *cube.Space, opts Options) *Result {
-	return enumerateWithBlocking(f, space, opts, false)
+	return enumerateEngine(f, space, opts, engBlocking)
 }
 
 // EnumerateLifting runs the blocking-clause loop with greedy cube lifting:
 // each model is minimized into a cube over the projection variables before
 // being blocked.
 func EnumerateLifting(f *cnf.Formula, space *cube.Space, opts Options) *Result {
-	return enumerateWithBlocking(f, space, opts, true)
+	return enumerateEngine(f, space, opts, engLifting)
 }
 
-func enumerateWithBlocking(f *cnf.Formula, space *cube.Space, opts Options, lift bool) *Result {
+// EnumerateDisjoint runs the blocking-clause-free engine: chronological
+// backtracking with implicant shrinking yields pairwise-disjoint cubes
+// whose union is the exact projection, while the clause database stays
+// O(1) in the number of solutions (Stats.BlockingClauses is always zero).
+func EnumerateDisjoint(f *cnf.Formula, space *cube.Space, opts Options) *Result {
+	return enumerateEngine(f, space, opts, engDisjoint)
+}
+
+func enumerateEngine(f *cnf.Formula, space *cube.Space, opts Options, eng engineKind) *Result {
 	if opts.Workers > 1 && space.Size() > 0 {
-		return enumerateParallel(f, space, opts, lift)
+		return enumerateParallel(f, space, opts, eng)
 	}
-	bud := opts.Budget.Materialize()
-	res := &Result{Space: space, Cover: cube.NewCover(space), Count: new(big.Int)}
-	satOpts := opts.SAT
 	// Share the enumeration budget with the solver so a deadline or
-	// cancellation interrupts a long Solve call, not just the loop between
-	// calls. An explicit solver budget wins.
-	if satOpts.Budget.IsZero() {
-		satOpts.Budget = bud
-	}
-	s := sat.FromFormula(f, satOpts)
-	var lifter *modelLifter
-	if lift {
-		lifter = newModelLifter(f, space, opts.LiftOrder)
-	}
+	// cancellation interrupts a long solver call, not just the loop
+	// between calls. An explicit solver budget wins (inside the iterator).
+	bud := opts.Budget.Materialize()
+	opts.Budget = bud
+	res := &Result{Space: space, Cover: cube.NewCover(space), Count: new(big.Int)}
+	it := newKindIterator(f, space, opts, eng)
 
 	maxCubes := bud.MergeCubes(opts.MaxCubes)
-	var modelBuf []bool // reused across iterations via ModelBuf
+	var n uint64
 	for {
-		if maxCubes > 0 && res.Stats.Cubes >= maxCubes {
+		if maxCubes > 0 && n >= maxCubes {
 			res.Aborted = true
 			res.Reason = budget.Cubes
 			break
 		}
-		st := s.Solve()
-		if st == sat.Unsat {
+		c, ok := it.Next()
+		if !ok {
+			if r := it.Reason(); r != budget.None {
+				// Budget exhausted; the cover so far is a sound
+				// under-approximation.
+				res.Aborted = true
+				res.Reason = r
+			}
 			break
-		}
-		if st != sat.Sat {
-			// Solver budget exhausted; the cover so far is a sound
-			// under-approximation.
-			res.Aborted = true
-			res.Reason = s.StopReason()
-			break
-		}
-		res.Stats.Solutions++
-		modelBuf = s.ModelBuf(modelBuf)
-		model := modelBuf
-		var c cube.Cube
-		if lift {
-			c = lifter.lift(model)
-			res.Stats.LiftedFree += uint64(c.FreeVars())
-		} else {
-			c = space.FromModel(model)
 		}
 		res.Cover.Add(c)
-		res.Stats.Cubes++
-
-		// Block the cube: at least one fixed position must differ.
-		var blocking []lit.Lit
-		for pos, t := range c {
-			if t == lit.Unknown {
-				continue
-			}
-			blocking = append(blocking, lit.New(space.Vars()[pos], t == lit.True))
-		}
-		res.Stats.BlockingClauses++
-		res.Stats.BlockingLits += uint64(len(blocking))
-		if len(blocking) == 0 {
-			// The whole space is covered; nothing left.
-			break
-		}
-		if !s.AddClause(blocking...) {
-			break
-		}
+		n++
 	}
 
-	ss := s.Stats()
-	res.Stats.Decisions = ss.Decisions
-	res.Stats.Propagations = ss.Propagations
-	res.Stats.Conflicts = ss.Conflicts
+	res.Stats = it.Stats()
 	var kernel bdd.KernelStats
 	res.Count, res.Stats.BDDNodes, kernel = countCover(res.Cover)
 	res.Stats.Kernel.Merge(kernel)

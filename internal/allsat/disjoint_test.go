@@ -1,0 +1,119 @@
+package allsat
+
+import (
+	"math/rand"
+	"testing"
+
+	"allsatpre/internal/budget"
+	"allsatpre/internal/cnf"
+)
+
+// TestDisjointAgainstBruteForce checks the blocking-clause-free engine on
+// random instances: the cover must equal the brute-force projection, the
+// cubes must be pairwise disjoint, and — the engine's defining property —
+// no blocking clauses may ever be added.
+func TestDisjointAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		nVars := 4 + rng.Intn(7)
+		f := randomFormula(rng, nVars, 1+rng.Intn(4*nVars), 3)
+		vars := rng.Perm(nVars)[:1+rng.Intn(nVars)]
+		space := projSpace(vars...)
+		want := wantProjections(f, space)
+
+		r := EnumerateDisjoint(f.Clone(), space, Options{})
+		if r.Aborted {
+			t.Fatalf("trial %d: aborted without a budget (%v)", trial, r.Reason)
+		}
+		sameSet(t, "disjoint", want, gotProjections(r))
+		if r.Stats.BlockingClauses != 0 {
+			t.Fatalf("trial %d: %d blocking clauses added by the blocking-free engine",
+				trial, r.Stats.BlockingClauses)
+		}
+		cubes := r.Cover.Cubes()
+		for i := range cubes {
+			for j := i + 1; j < len(cubes); j++ {
+				if !cubes[i].Disjoint(cubes[j]) {
+					t.Fatalf("trial %d: cubes %v and %v overlap", trial, cubes[i], cubes[j])
+				}
+			}
+		}
+	}
+}
+
+// TestDisjointParallelWorkerSweep checks that the guiding-path-partitioned
+// disjoint enumeration yields the same solution set as the sequential run
+// for every worker count, keeps the merged cubes pairwise disjoint, and
+// still adds zero blocking clauses.
+func TestDisjointParallelWorkerSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	f := randomFormula(rng, 12, 30, 3)
+	space := projSpace(0, 1, 2, 3, 4, 5, 6, 7)
+	want := wantProjections(f, space)
+	for _, workers := range []int{1, 2, 4, 8} {
+		r := EnumerateDisjoint(f.Clone(), space, Options{Workers: workers})
+		if r.Aborted {
+			t.Fatalf("workers=%d: aborted without a budget (%v)", workers, r.Reason)
+		}
+		sameSet(t, "disjoint-parallel", want, gotProjections(r))
+		if r.Stats.BlockingClauses != 0 {
+			t.Fatalf("workers=%d: %d blocking clauses", workers, r.Stats.BlockingClauses)
+		}
+		cubes := r.Cover.Cubes()
+		for i := range cubes {
+			for j := i + 1; j < len(cubes); j++ {
+				if !cubes[i].Disjoint(cubes[j]) {
+					t.Fatalf("workers=%d: cubes %v and %v overlap", workers, cubes[i], cubes[j])
+				}
+			}
+		}
+	}
+}
+
+// TestDisjointMaxCubes: the cube cap aborts the disjoint enumeration with
+// the cap respected exactly, like the other engines.
+func TestDisjointMaxCubes(t *testing.T) {
+	f := cnf.New(5) // tautology: 32 minterms, many cubes
+	r := EnumerateDisjoint(f.Clone(), projSpace(0, 1, 2, 3, 4), Options{MaxCubes: 1})
+	if !r.Aborted || r.Reason != budget.Cubes {
+		t.Fatalf("aborted=%v reason=%v, want cube-cap abort", r.Aborted, r.Reason)
+	}
+	if r.Cover.Len() != 1 {
+		t.Fatalf("cover has %d cubes, want exactly 1", r.Cover.Len())
+	}
+}
+
+// TestDisjointBudgetAbort: a tripped solver budget surfaces as an aborted
+// result with the recorded reason rather than a silent partial cover.
+func TestDisjointBudgetAbort(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := randomFormula(rng, 14, 25, 3)
+	space := projSpace(0, 1, 2, 3, 4, 5, 6, 7, 8, 9)
+	r := EnumerateDisjoint(f.Clone(), space, Options{
+		Budget: budget.Budget{MaxDecisions: 5},
+	})
+	if !r.Aborted {
+		t.Fatal("5-decision budget never tripped")
+	}
+	if r.Reason != budget.Decisions {
+		t.Fatalf("reason %v, want decisions", r.Reason)
+	}
+}
+
+// TestDisjointStatsPopulated: the solver counters and the learnt-clause
+// high-water mark flow through the disjoint iterator's Stats.
+func TestDisjointStatsPopulated(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	f := randomFormula(rng, 10, 40, 3)
+	space := projSpace(0, 1, 2)
+	r := EnumerateDisjoint(f.Clone(), space, Options{})
+	if r.Count == nil || r.Count.Sign() == 0 {
+		t.Skip("instance unsat; pick another seed")
+	}
+	if r.Stats.Decisions == 0 || r.Stats.Propagations == 0 {
+		t.Fatalf("solver counters missing: %+v", r.Stats)
+	}
+	if r.Stats.Cubes == 0 || r.Stats.Solutions == 0 {
+		t.Fatalf("enumeration counters missing: %+v", r.Stats)
+	}
+}

@@ -108,4 +108,5 @@ func (it *Iterator) captureStats() {
 	it.stats.Decisions = ss.Decisions
 	it.stats.Propagations = ss.Propagations
 	it.stats.Conflicts = ss.Conflicts
+	it.stats.PeakLearnts = uint64(ss.PeakLearnts)
 }

@@ -34,14 +34,14 @@ func restrictFormula(f *cnf.Formula, space *cube.Space, s partition.Subcube) *cn
 	return rf
 }
 
-// enumerateParallel fans the blocking/lifting loop out over guiding-path
-// subcubes: the projection space is split into disjoint prefix subcubes,
+// enumerateParallel fans an engine's enumeration loop out over
+// guiding-path subcubes: the projection space is split into disjoint prefix subcubes,
 // workers drain them from a shared feed (each subcube enumerated by a
 // fresh solver on a restricted clone), and the per-subcube covers are
 // concatenated in subcube order — so the merged cover is deterministic
 // for a fixed split depth, and as a solution set it equals the
 // sequential enumeration for every worker count.
-func enumerateParallel(f *cnf.Formula, space *cube.Space, opts Options, lift bool) *Result {
+func enumerateParallel(f *cnf.Formula, space *cube.Space, opts Options, eng engineKind) *Result {
 	bud := opts.Budget.Materialize()
 	workers := opts.Workers
 	k := partition.PrefixDepth(space, workers, 2)
@@ -49,7 +49,7 @@ func enumerateParallel(f *cnf.Formula, space *cube.Space, opts Options, lift boo
 	if len(subs) <= 1 {
 		seq := opts
 		seq.Workers = 0
-		return enumerateWithBlocking(f, space, seq, lift)
+		return enumerateEngine(f, space, seq, eng)
 	}
 	if workers > len(subs) {
 		workers = len(subs)
@@ -102,7 +102,7 @@ func enumerateParallel(f *cnf.Formula, space *cube.Space, opts Options, lift boo
 		go func() {
 			defer wg.Done()
 			for i := range feed {
-				it := NewIterator(restrictFormula(f, space, subs[i]), space, wopts, lift)
+				it := newKindIterator(restrictFormula(f, space, subs[i]), space, wopts, eng)
 				var cubes []cube.Cube
 				for {
 					if maxCubes > 0 && cubeCount.Load() >= maxCubes {
@@ -114,8 +114,18 @@ func enumerateParallel(f *cnf.Formula, space *cube.Space, opts Options, lift boo
 						record(it.Reason())
 						break
 					}
+					// Claim the slot before keeping the cube: the shared
+					// counter only ever holds kept cubes plus transient
+					// over-claims that are immediately returned, so the
+					// merged cover respects the cap exactly — checking
+					// Load() before Add() would let two workers pass at
+					// maxCubes-1 and overshoot by up to workers-1.
+					if maxCubes > 0 && cubeCount.Add(1) > maxCubes {
+						cubeCount.Add(^uint64(0)) // unclaim
+						record(budget.Cubes)
+						break
+					}
 					cubes = append(cubes, c)
-					cubeCount.Add(1)
 				}
 				outs[i] = subOut{cubes: cubes, stats: it.Stats()}
 				if ctx.Err() != nil {
@@ -137,6 +147,7 @@ func enumerateParallel(f *cnf.Formula, space *cube.Space, opts Options, lift boo
 		res.Stats.BlockingClauses += s.BlockingClauses
 		res.Stats.BlockingLits += s.BlockingLits
 		res.Stats.LiftedFree += s.LiftedFree
+		res.Stats.PeakLearnts += s.PeakLearnts
 		res.Stats.Decisions += s.Decisions
 		res.Stats.Propagations += s.Propagations
 		res.Stats.Conflicts += s.Conflicts
@@ -159,17 +170,32 @@ type ParallelIterator struct {
 	ch     chan cube.Cube
 	cancel context.CancelFunc
 	reason atomic.Int32
+	done   atomic.Bool
 
 	mu    sync.Mutex
 	stats Stats
-
-	done bool
 }
 
 // NewParallelIterator starts opts.Workers workers (minimum 1) and
-// returns the streaming iterator. Callers must either drain it or call
-// Stop to release the workers.
+// returns the streaming iterator over the blocking (or, with lift, the
+// lifting) engine. Callers must either drain it or call Stop to release
+// the workers.
 func NewParallelIterator(f *cnf.Formula, space *cube.Space, opts Options, lift bool) *ParallelIterator {
+	eng := engBlocking
+	if lift {
+		eng = engLifting
+	}
+	return newParallelIterator(f, space, opts, eng)
+}
+
+// NewParallelDisjointIterator is NewParallelIterator for the disjoint
+// engine. The per-subcube covers stay pairwise disjoint: every cube pins
+// its subcube's unit prefix (level-0 literals are never shrunk away).
+func NewParallelDisjointIterator(f *cnf.Formula, space *cube.Space, opts Options) *ParallelIterator {
+	return newParallelIterator(f, space, opts, engDisjoint)
+}
+
+func newParallelIterator(f *cnf.Formula, space *cube.Space, opts Options, eng engineKind) *ParallelIterator {
 	workers := opts.Workers
 	if workers < 1 {
 		workers = 1
@@ -211,13 +237,11 @@ func NewParallelIterator(f *cnf.Formula, space *cube.Space, opts Options, lift b
 		go func() {
 			defer wg.Done()
 			for i := range feed {
-				it := NewIterator(restrictFormula(f, space, subs[i]), space, wopts, lift)
+				it := newKindIterator(restrictFormula(f, space, subs[i]), space, wopts, eng)
 				for {
 					c, ok := it.Next()
 					if !ok {
-						if r := it.Reason(); r != budget.None {
-							p.reason.CompareAndSwap(0, int32(r))
-						}
+						p.record(it.Reason())
 						break
 					}
 					select {
@@ -241,6 +265,16 @@ func NewParallelIterator(f *cnf.Formula, space *cube.Space, opts Options, lift b
 	return p
 }
 
+// record stores the first abort reason and cancels the siblings: one
+// tripped budget stops the whole pool promptly (matching
+// enumerateParallel's first-abort-cancels-all semantics) instead of
+// letting the remaining workers keep burning their own budgets.
+func (p *ParallelIterator) record(r budget.Reason) {
+	if r != budget.None && p.reason.CompareAndSwap(0, int32(r)) {
+		p.cancel()
+	}
+}
+
 func (p *ParallelIterator) fold(s Stats) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -249,6 +283,7 @@ func (p *ParallelIterator) fold(s Stats) {
 	p.stats.BlockingClauses += s.BlockingClauses
 	p.stats.BlockingLits += s.BlockingLits
 	p.stats.LiftedFree += s.LiftedFree
+	p.stats.PeakLearnts += s.PeakLearnts
 	p.stats.Decisions += s.Decisions
 	p.stats.Propagations += s.Propagations
 	p.stats.Conflicts += s.Conflicts
@@ -259,7 +294,7 @@ func (p *ParallelIterator) fold(s Stats) {
 func (p *ParallelIterator) Next() (cube.Cube, bool) {
 	c, ok := <-p.ch
 	if !ok {
-		p.done = true
+		p.done.Store(true)
 	}
 	return c, ok
 }
@@ -270,11 +305,12 @@ func (p *ParallelIterator) Stop() {
 	p.cancel()
 	for range p.ch {
 	}
-	p.done = true
+	p.done.Store(true)
 }
 
-// Exhausted reports whether the stream has ended.
-func (p *ParallelIterator) Exhausted() bool { return p.done }
+// Exhausted reports whether the stream has ended. Safe to call
+// concurrently with Next/Stop.
+func (p *ParallelIterator) Exhausted() bool { return p.done.Load() }
 
 // Reason reports why the iteration stopped early (budget.None when it
 // ran to completion or is still running).

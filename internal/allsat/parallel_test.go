@@ -80,19 +80,140 @@ func TestParallelLiftingEqualsSequential(t *testing.T) {
 	}
 }
 
-func TestParallelMaxCubesAborts(t *testing.T) {
-	// x0..x5 unconstrained: 64 projected solutions; a global cap of 7 must
-	// abort with budget.Cubes and at most 7+workers cubes (each worker can
-	// overshoot by at most the one cube in flight).
-	f := cnf.New(6)
-	f.AddClause(cnf.Clause{lit.Pos(0), lit.Neg(0)})
-	space := projSpace(0, 1, 2, 3, 4, 5)
-	r := EnumerateBlocking(f, space, Options{MaxCubes: 7, Workers: 4})
-	if !r.Aborted || r.Reason != budget.Cubes {
-		t.Fatalf("aborted=%v reason=%v, want cube abort", r.Aborted, r.Reason)
+// TestParallelMaxCubesExact is the regression test for the shared cube
+// cap: workers must claim a slot atomically before keeping a cube, so the
+// merged cover holds exactly min(MaxCubes, |full cover|) cubes at every
+// worker count. The old check-then-act pattern (Load before Add) let up
+// to workers-1 extra cubes through when several workers raced past the
+// cap simultaneously.
+func TestParallelMaxCubesExact(t *testing.T) {
+	// x0..x5 unconstrained: 64 projected solutions.
+	mk := func() *cnf.Formula {
+		f := cnf.New(6)
+		f.AddClause(cnf.Clause{lit.Pos(0), lit.Neg(0)})
+		return f
 	}
-	if r.Cover.Len() < 7 || r.Cover.Len() > 7+4 {
-		t.Fatalf("cover has %d cubes, want ~7", r.Cover.Len())
+	space := projSpace(0, 1, 2, 3, 4, 5)
+	for _, workers := range []int{1, 2, 4, 8} {
+		for trial := 0; trial < 10; trial++ {
+			r := EnumerateBlocking(mk(), space, Options{MaxCubes: 7, Workers: workers})
+			if !r.Aborted || r.Reason != budget.Cubes {
+				t.Fatalf("workers=%d: aborted=%v reason=%v, want cube abort",
+					workers, r.Aborted, r.Reason)
+			}
+			if r.Cover.Len() != 7 {
+				t.Fatalf("workers=%d trial %d: cover has %d cubes, want exactly 7",
+					workers, trial, r.Cover.Len())
+			}
+		}
+		// A cap above the full cover must not abort or truncate.
+		r := EnumerateBlocking(mk(), space, Options{MaxCubes: 100, Workers: workers})
+		if r.Aborted || r.Cover.Len() != 64 {
+			t.Fatalf("workers=%d: aborted=%v len=%d, want full 64-cube cover",
+				workers, r.Aborted, r.Cover.Len())
+		}
+	}
+}
+
+// TestParallelIteratorAbortCancelsSiblings is the regression test for the
+// first-abort-cancels-all contract: when one worker's budget trips, the
+// shared context must be cancelled so no further subcubes are handed out.
+// Setup: 4 subcubes, 2 workers, and a per-solver decision budget that
+// trips long before any subcube exhausts — so each worker processes
+// exactly one subcube (its first pull) and then returns. Only subcubes 0
+// and 1 can ever be pulled, and both fix order position 1 to false.
+// Before the fix the abort reason was recorded without cancelling, each
+// worker went back to the feed, and cubes from subcubes 2 and 3 (position
+// 1 true) leaked into the stream.
+func TestParallelIteratorAbortCancelsSiblings(t *testing.T) {
+	f := cnf.New(12)
+	f.AddClause(cnf.Clause{lit.Pos(0), lit.Neg(0)})
+	space := projSpace(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11)
+	for trial := 0; trial < 5; trial++ {
+		it := NewParallelIterator(f.Clone(), space, Options{
+			Workers: 2,
+			Budget:  budget.Budget{MaxDecisions: 200},
+		}, false)
+		n := 0
+		for {
+			c, ok := it.Next()
+			if !ok {
+				break
+			}
+			n++
+			if c[1] != lit.False {
+				t.Fatalf("trial %d: cube %v from a subcube fed out after the abort", trial, c)
+			}
+		}
+		if !it.Aborted() || it.Reason() != budget.Decisions {
+			t.Fatalf("trial %d: aborted=%v reason=%v, want decision-budget abort",
+				trial, it.Aborted(), it.Reason())
+		}
+		if !it.Exhausted() {
+			t.Fatalf("trial %d: stream ended but Exhausted is false", trial)
+		}
+		if n == 0 {
+			t.Fatalf("trial %d: no cubes before the budget tripped", trial)
+		}
+	}
+}
+
+// TestParallelIteratorExhaustedRace drives Exhausted concurrently with
+// Next and Stop; run under -race it pins the atomic done flag (the field
+// used to be a plain bool written by Next and read by Exhausted).
+func TestParallelIteratorExhaustedRace(t *testing.T) {
+	f := cnf.New(8)
+	f.AddClause(cnf.Clause{lit.Pos(0), lit.Neg(0)})
+	space := projSpace(0, 1, 2, 3, 4, 5, 6, 7)
+	it := NewParallelIterator(f, space, Options{Workers: 4}, false)
+	stop := make(chan struct{})
+	go func() {
+		defer close(stop)
+		for !it.Exhausted() {
+		}
+	}()
+	for {
+		if _, ok := it.Next(); !ok {
+			break
+		}
+	}
+	<-stop
+	if !it.Exhausted() {
+		t.Fatal("drained stream not exhausted")
+	}
+}
+
+// TestParallelDisjointIteratorDrains checks the streaming parallel form
+// of the disjoint engine against the sequential cover as a solution set.
+func TestParallelDisjointIteratorDrains(t *testing.T) {
+	rng := rand.New(rand.NewSource(4404))
+	for iter := 0; iter < 10; iter++ {
+		nVars := 5 + rng.Intn(5)
+		f := randomFormula(rng, nVars, 1+rng.Intn(3*nVars), 3)
+		space := projSpace(rng.Perm(nVars)[:4]...)
+
+		want := EnumerateDisjoint(f.Clone(), space, Options{})
+		m := bdd.NewOrdered(space.Vars())
+		wantSet := coverSet(m, want.Cover)
+
+		it := NewParallelDisjointIterator(f.Clone(), space, Options{Workers: 4})
+		got := cube.NewCover(space)
+		for {
+			c, ok := it.Next()
+			if !ok {
+				break
+			}
+			got.Add(c)
+		}
+		if it.Aborted() {
+			t.Fatalf("iter %d: spurious abort: %v", iter, it.Reason())
+		}
+		if coverSet(m, got) != wantSet {
+			t.Fatalf("iter %d: parallel disjoint iterator set differs", iter)
+		}
+		if it.Stats().BlockingClauses != 0 {
+			t.Fatalf("iter %d: %d blocking clauses", iter, it.Stats().BlockingClauses)
+		}
 	}
 }
 

@@ -39,6 +39,12 @@ type Row struct {
 	AvgBlock  float64 // average blocking clause length
 	Steps     int     // reach steps (Table 3)
 	Extra     float64 // experiment-specific x-axis value (Fig 1/2 sweeps)
+	// PeakClauses is the engine's clause-database memory proxy: blocking
+	// clauses added plus the learnt-clause high-water mark (Table 7).
+	PeakClauses uint64
+	// Blocking is the number of blocking clauses alone — zero for the
+	// disjoint and success-driven engines by construction.
+	Blocking uint64
 	// Aborted marks a truncated run (cube cap or RunBudget); Count is
 	// then a lower bound, rendered with a TRUNCATED marker, never as a
 	// complete measurement. Reason says which limit tripped.
@@ -166,6 +172,9 @@ func run(c *circuit.Circuit, target *cube.Cover, opts preimage.Options) Row {
 		BDDNodes:  r.BDDNodes,
 		Aborted:   r.Aborted,
 		Reason:    r.AbortReason,
+
+		PeakClauses: r.Stats.BlockingClauses + r.Stats.PeakLearnts,
+		Blocking:    r.Stats.BlockingClauses,
 	}
 	if opts.Engine == preimage.EngineBDD {
 		row.Cubes = uint64(r.States.Len())
@@ -182,7 +191,7 @@ func run(c *circuit.Circuit, target *cube.Cover, opts preimage.Options) Row {
 	return row
 }
 
-// Table1 compares the three SAT enumeration engines on single-step
+// Table1 compares the four SAT enumeration engines on single-step
 // preimage over the benchmark suite: time, decisions, conflicts, cubes.
 func Table1() (*stats.Table, []Row) {
 	tb := stats.NewTable("Table 1 — single-step preimage: SAT all-solutions engines",
@@ -191,7 +200,8 @@ func Table1() (*stats.Table, []Row) {
 	for _, nc := range gen.Suite() {
 		target := targetFor(nc.Circuit)
 		for _, eng := range []preimage.Engine{
-			preimage.EngineBlocking, preimage.EngineLifting, preimage.EngineSuccessDriven,
+			preimage.EngineBlocking, preimage.EngineLifting, preimage.EngineDisjoint,
+			preimage.EngineSuccessDriven,
 		} {
 			row := run(nc.Circuit, target, preimage.Options{Engine: eng})
 			rows = append(rows, row)
@@ -425,6 +435,32 @@ func Table6() (*stats.Table, []Row) {
 				}
 				tb.AddRow(nc.Circuit.Name, eng.String(), on, row.Count.String(), row.Decisions, row.Time)
 			}
+		}
+	}
+	return tb, rows
+}
+
+// Table7 is the clause-database growth shootout: for each SAT engine,
+// peak added clauses (blocking clauses plus the learnt-clause high-water
+// mark) alongside time. Blocking/lifting grow one clause per cube — the
+// blowup the disjoint engine exists to avoid — so the column is the
+// memory story behind the Table 1 timings: the disjoint engine's
+// blocking column is structurally zero and its peak is conflict-driven
+// only.
+func Table7() (*stats.Table, []Row) {
+	tb := stats.NewTable("Table 7 — clause-database growth: peak added clauses per engine",
+		"circuit", "engine", "states", "cubes", "peak-clauses", "blocking", "time")
+	var rows []Row
+	for _, nc := range gen.Suite() {
+		target := targetFor(nc.Circuit)
+		for _, eng := range []preimage.Engine{
+			preimage.EngineBlocking, preimage.EngineLifting, preimage.EngineDisjoint,
+			preimage.EngineSuccessDriven,
+		} {
+			row := run(nc.Circuit, target, preimage.Options{Engine: eng})
+			rows = append(rows, row)
+			tb.AddRow(row.Circuit, row.Engine.String(), truncMark(row.Count.String(), row),
+				row.Cubes, row.PeakClauses, row.Blocking, row.Time)
 		}
 	}
 	return tb, rows

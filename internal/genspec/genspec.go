@@ -110,6 +110,8 @@ func Engine(name string) (preimage.Engine, error) {
 		return preimage.EngineBlocking, nil
 	case "lifting":
 		return preimage.EngineLifting, nil
+	case "disjoint":
+		return preimage.EngineDisjoint, nil
 	case "bdd":
 		return preimage.EngineBDD, nil
 	default:

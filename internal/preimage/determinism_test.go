@@ -159,6 +159,63 @@ func TestDeterministicCoverBlockingEngines(t *testing.T) {
 	}
 }
 
+// TestDeterministicCoverDisjointEngine checks the blocking-clause-free
+// engine end to end: on each suite circuit its preimage must denote the
+// same state set (canonical BDD and count) as the success-driven
+// reference — and as the blocking baseline on one circuit — at every
+// worker count, while adding zero blocking clauses.
+func TestDeterministicCoverDisjointEngine(t *testing.T) {
+	for _, nc := range []gen.NamedCircuit{
+		{Name: "gray6", Circuit: gen.GrayCounter(6)},
+		{Name: "counter8", Circuit: gen.Counter(8, true, false)},
+		{Name: "slike1", Circuit: gen.SLike(gen.SLikeParams{Seed: 1, Inputs: 6, Latches: 6, Gates: 60})},
+	} {
+		target := wideTarget(len(nc.Circuit.Latches))
+		ref, err := Compute(nc.Circuit, target, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := bdd.NewOrdered(ref.StateSpace.Vars())
+		refSet := m.FromCover(ref.States)
+
+		for _, workers := range []int{1, 2, 4, 8} {
+			dis, err := Compute(nc.Circuit, target, Options{Engine: EngineDisjoint, Parallel: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dis.Aborted {
+				t.Fatalf("%s/p%d: spurious abort (%v)", nc.Name, workers, dis.AbortReason)
+			}
+			if dis.Count.Cmp(ref.Count) != 0 {
+				t.Fatalf("%s/p%d: count %v, want %v", nc.Name, workers, dis.Count, ref.Count)
+			}
+			if m.FromCover(dis.States) != refSet {
+				t.Fatalf("%s/p%d: disjoint state set differs from success-driven", nc.Name, workers)
+			}
+			if dis.Stats.BlockingClauses != 0 {
+				t.Fatalf("%s/p%d: %d blocking clauses added by the blocking-free engine",
+					nc.Name, workers, dis.Stats.BlockingClauses)
+			}
+		}
+	}
+
+	// Cross-check against the blocking baseline on one circuit.
+	c := gen.GrayCounter(6)
+	target := wideTarget(6)
+	blk, err := Compute(c, target, Options{Engine: EngineBlocking})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dis, err := Compute(c, target, Options{Engine: EngineDisjoint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := bdd.NewOrdered(blk.StateSpace.Vars())
+	if dis.Count.Cmp(blk.Count) != 0 || m.FromCover(dis.States) != m.FromCover(blk.States) {
+		t.Fatal("disjoint state set differs from blocking baseline")
+	}
+}
+
 // TestDeterministicCoverBDDEngine covers the fourth engine: the sliced
 // parallel BDD path must agree with the monolithic relational product.
 func TestDeterministicCoverBDDEngine(t *testing.T) {

@@ -3,7 +3,7 @@
 // from which one transition reaches a given target set — and iterates them
 // into full backward reachability.
 //
-// Four interchangeable engines are provided:
+// Five interchangeable engines are provided:
 //
 //   - EngineSuccessDriven (default): the paper's all-solutions SAT
 //     enumerator (internal/core), returning the preimage directly as an
@@ -12,6 +12,9 @@
 //     clauses (the paper's SAT baseline).
 //   - EngineLifting: all-SAT with greedily lifted (shortened) blocking
 //     clauses.
+//   - EngineDisjoint: blocking-clause-free disjoint enumeration via
+//     chronological backtracking with implicant shrinking — pairwise
+//     disjoint cubes, O(1) clause growth per solution.
 //   - EngineBDD: symbolic relational product with partitioned transition
 //     relations and early quantification (the paper's BDD baseline).
 //
@@ -48,6 +51,7 @@ const (
 	EngineBlocking
 	EngineLifting
 	EngineBDD
+	EngineDisjoint
 )
 
 func (e Engine) String() string {
@@ -60,6 +64,8 @@ func (e Engine) String() string {
 		return "lifting"
 	case EngineBDD:
 		return "bdd"
+	case EngineDisjoint:
+		return "disjoint"
 	default:
 		return fmt.Sprintf("Engine(%d)", int(e))
 	}
@@ -236,7 +242,7 @@ func runSATEngine(f *cnf.Formula, projSpace *cube.Space, opts Options) (*allsat.
 	case EngineSuccessDriven:
 		_, ar := runSuccessDriven(f, projSpace, opts)
 		return ar, nil
-	case EngineBlocking, EngineLifting:
+	case EngineBlocking, EngineLifting, EngineDisjoint:
 		as := opts.AllSAT
 		if as.Budget.IsZero() {
 			as.Budget = opts.Budget
@@ -244,10 +250,14 @@ func runSATEngine(f *cnf.Formula, projSpace *cube.Space, opts Options) (*allsat.
 		if opts.Parallel > 1 && as.Workers == 0 {
 			as.Workers = opts.Parallel
 		}
-		if opts.Engine == EngineBlocking {
+		switch opts.Engine {
+		case EngineBlocking:
 			return allsat.EnumerateBlocking(f, projSpace, as), nil
+		case EngineLifting:
+			return allsat.EnumerateLifting(f, projSpace, as), nil
+		default:
+			return allsat.EnumerateDisjoint(f, projSpace, as), nil
 		}
-		return allsat.EnumerateLifting(f, projSpace, as), nil
 	default:
 		return nil, fmt.Errorf("preimage: unknown engine %v", opts.Engine)
 	}

@@ -35,6 +35,7 @@ type Stats struct {
 	MinimizedOut uint64 // literals removed by clause minimization
 	Reduced      uint64 // learnt clauses deleted by DB reduction
 	MaxTrail     int
+	PeakLearnts  int // high-water learnt clause count (DB memory proxy)
 }
 
 // luby computes the i-th element (1-based) of the Luby restart sequence.

@@ -106,6 +106,14 @@ func (s *Solver) search(nConflicts, conflictsAtStart uint64) Status {
 				}
 				return Unsat
 			}
+			// Amortized budget poll: without it a consecutive-conflict
+			// streak never reaches the no-conflict check below and can
+			// overshoot MaxConflicts/deadline/cancellation arbitrarily.
+			// Every 64th conflict keeps the hot loop lean while bounding
+			// the overshoot.
+			if s.stats.Conflicts&63 == 0 && s.limitExceeded(conflictsAtStart) {
+				return Unknown
+			}
 			learnt, btLevel, lbd := s.analyze(confl)
 			if s.proof != nil {
 				s.proof.addClause(learnt)
@@ -116,6 +124,9 @@ func (s *Solver) search(nConflicts, conflictsAtStart uint64) Status {
 			} else {
 				cl := &clause{lits: learnt, learnt: true, lbd: lbd}
 				s.learnts = append(s.learnts, cl)
+				if len(s.learnts) > s.stats.PeakLearnts {
+					s.stats.PeakLearnts = len(s.learnts)
+				}
 				s.attach(cl)
 				s.claBump(cl)
 				s.uncheckedEnqueue(learnt[0], cl)
