@@ -44,6 +44,7 @@ import (
 	"allsatpre/internal/lit"
 	"allsatpre/internal/pool"
 	"allsatpre/internal/preimage"
+	"allsatpre/internal/simplify"
 	"allsatpre/internal/stats"
 	"allsatpre/internal/trans"
 )
@@ -93,6 +94,16 @@ type (
 	// Options.Stats to observe a run (snapshot as text/JSON, or serve it
 	// over HTTP while the computation is in flight).
 	StatsRegistry = stats.Registry
+	// SimplifyMode is the tri-state switch for the projection-safe CNF
+	// preprocessing pass (Options.Simplify, BMCOptions.Simplify,
+	// DimacsOptions.Simplify): bounded variable elimination of
+	// non-projection variables, subsumption, self-subsuming resolution,
+	// and failed-literal probing, with the projected solution set — and
+	// therefore every enumerated cover — preserved exactly.
+	SimplifyMode = simplify.Mode
+	// SimplifyStats reports the preprocessing work of one run
+	// (EnumStats.Simplify).
+	SimplifyStats = simplify.Stats
 )
 
 // NewStatsRegistry creates a named stats registry for Options.Stats.
@@ -107,6 +118,15 @@ const (
 	AbortDecisions = budget.Decisions // decision cap exhausted
 	AbortCubes     = budget.Cubes     // cube cap exhausted
 	AbortNodes     = budget.Nodes     // BDD node cap exhausted
+)
+
+// Simplify modes for SimplifyMode fields: Auto follows each entry
+// point's default (on for one-shot enumeration, off for incremental
+// sessions), On forces the pass, Off disables it.
+const (
+	SimplifyAuto = simplify.Auto
+	SimplifyOn   = simplify.On
+	SimplifyOff  = simplify.Off
 )
 
 // Engine constants (see the preimage package for semantics).
@@ -322,7 +342,15 @@ type DimacsOptions struct {
 	Proj []int
 	// Preprocess applies model-preserving CNF reductions (subsumption,
 	// self-subsuming resolution, unit propagation) before enumeration.
+	// Unlike Simplify it never eliminates variables, so total models are
+	// preserved, not just the projection.
 	Preprocess bool
+	// Simplify controls the projection-safe preprocessing pass
+	// (internal/simplify): non-projection variables may be resolved away
+	// entirely — the enumerated projected cover is unchanged, but models
+	// of the simplified formula are partial with respect to the original.
+	// Auto resolves to on.
+	Simplify SimplifyMode
 	// Budget bounds the enumeration; a tripped limit yields a partial
 	// cover with Aborted set on the result (sound under-approximation).
 	Budget Budget
@@ -382,8 +410,27 @@ func EnumerateDimacsOpts(r io.Reader, o DimacsOptions) (*allsat.Result, error) {
 		}
 	}
 	space := cube.NewSpace(proj)
+
+	// Projection-safe simplification is decided here for every engine —
+	// including the success-driven core/pool paths below, which have no
+	// preprocessing of their own — so the allsat layer is told not to
+	// repeat it.
+	var sstats simplify.Stats
+	if o.Simplify.Enabled(true) {
+		isProj := make([]bool, f.NumVars)
+		for _, v := range proj {
+			isProj[v] = true
+		}
+		sres := simplify.Run(f, func(v lit.Var) bool { return isProj[v] }, simplify.Options{})
+		sstats = sres.Stats
+	}
 	bud := o.Budget.Materialize()
-	asOpts := allsat.Options{Budget: bud, MaxCubes: uint64(o.MaxCubes), Workers: o.Workers}
+	asOpts := allsat.Options{
+		Budget:   bud,
+		MaxCubes: uint64(o.MaxCubes),
+		Workers:  o.Workers,
+		Simplify: simplify.Off,
+	}
 	var res *allsat.Result
 	switch engine {
 	case EngineSuccessDriven:
@@ -408,6 +455,7 @@ func EnumerateDimacsOpts(r io.Reader, o DimacsOptions) (*allsat.Result, error) {
 	default:
 		return nil, fmt.Errorf("allsatpre: engine %v cannot enumerate raw CNF", engine)
 	}
+	res.Stats.Simplify = sstats
 	if o.Stats != nil {
 		o.Stats.Counter("decisions").Add(res.Stats.Decisions)
 		o.Stats.Counter("propagations").Add(res.Stats.Propagations)
@@ -415,6 +463,14 @@ func EnumerateDimacsOpts(r io.Reader, o DimacsOptions) (*allsat.Result, error) {
 		o.Stats.Counter("solutions").Add(res.Stats.Solutions)
 		o.Stats.Counter("cubes").Add(res.Stats.Cubes)
 		o.Stats.MaxGauge("bdd-nodes", int64(res.Stats.BDDNodes))
+		if sstats.Applied {
+			o.Stats.Counter("simplify-runs").Inc()
+			o.Stats.Counter("simplify-vars-eliminated").Add(uint64(sstats.VarsEliminated))
+			o.Stats.Counter("simplify-clauses-subsumed").Add(uint64(sstats.ClausesSubsumed))
+			o.Stats.Counter("simplify-lits-strengthened").Add(uint64(sstats.LitsStrengthened))
+			o.Stats.Counter("simplify-resolvents-added").Add(uint64(sstats.ResolventsAdded))
+			o.Stats.Counter("simplify-probe-failures").Add(uint64(sstats.ProbeFailures))
+		}
 		if res.Aborted {
 			o.Stats.Counter("aborts").Inc()
 			o.Stats.Counter("abort-" + res.Reason.String()).Inc()

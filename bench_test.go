@@ -19,6 +19,7 @@ import (
 	"allsatpre/internal/experiments"
 	"allsatpre/internal/gen"
 	"allsatpre/internal/preimage"
+	"allsatpre/internal/simplify"
 	"allsatpre/internal/trans"
 )
 
@@ -316,6 +317,59 @@ func BenchmarkParallelEnumerate(b *testing.B) {
 			b.Run(fmt.Sprintf("%s/w%d", nc.Name, w), func(b *testing.B) {
 				benchPreimage(b, nc.Circuit, target,
 					preimage.Options{Engine: preimage.EngineSuccessDriven, Parallel: w})
+			})
+		}
+	}
+}
+
+// BenchmarkSimplify — the projection-safe preprocessor on vs off for all
+// five engines over the Table 1 suite (one-step preimage) and, under
+// /reach, the Table 3 reachability workloads with the success-driven
+// engine. Covers are identical either way (internal/preimage's simplify
+// equivalence suite pins this), so the on/off ns/op ratio is the pure
+// win (or cost) of eliminating auxiliary variables before enumeration.
+// The BDD engine never consumes the CNF; its pair is a no-op control.
+func BenchmarkSimplify(b *testing.B) {
+	engines := []preimage.Engine{
+		preimage.EngineBlocking, preimage.EngineLifting, preimage.EngineDisjoint,
+		preimage.EngineSuccessDriven, preimage.EngineBDD,
+	}
+	modes := []struct {
+		name string
+		mode simplify.Mode
+	}{
+		{"simplify=off", simplify.Off},
+		{"simplify=on", simplify.On},
+	}
+	for _, nc := range gen.Suite() {
+		target := benchTarget(nc.Circuit)
+		for _, eng := range engines {
+			for _, sm := range modes {
+				b.Run(fmt.Sprintf("%s/%s/%s", nc.Name, eng, sm.name), func(b *testing.B) {
+					opts := cappedOpts(eng)
+					opts.Simplify = sm.mode
+					benchPreimage(b, nc.Circuit, target, opts)
+				})
+			}
+		}
+	}
+	reachSuite := []gen.NamedCircuit{
+		{Name: "counter8", Circuit: gen.Counter(8, true, false)},
+		{Name: "traffic", Circuit: gen.TrafficLight()},
+		{Name: "slike1", Circuit: gen.SLike(gen.SLikeParams{Seed: 1, Inputs: 6, Latches: 6, Gates: 60})},
+	}
+	for _, nc := range reachSuite {
+		target := benchTarget(nc.Circuit)
+		for _, sm := range modes {
+			b.Run(fmt.Sprintf("reach/%s/%s", nc.Name, sm.name), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					_, err := preimage.Reach(nc.Circuit, target, 6,
+						preimage.Options{Engine: preimage.EngineSuccessDriven, Simplify: sm.mode})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
 			})
 		}
 	}

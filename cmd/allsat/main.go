@@ -29,6 +29,7 @@ func main() {
 	forgetFlag := flag.String("forget", "", "comma-separated 1-based variables to quantify out (projection = all others); the result is ∃forget.F as a cube cover")
 	showCubes := flag.Bool("cubes", false, "print the solution cubes")
 	pre := flag.Bool("pre", false, "preprocess (subsumption, strengthening) before enumerating")
+	simplifyFlag := genspec.AddSimplifyFlag(flag.CommandLine)
 	bf := genspec.AddBudgetFlags(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -103,9 +104,14 @@ func main() {
 		}
 	}
 
+	smode, err := genspec.SimplifyMode(*simplifyFlag)
+	if err != nil {
+		fatal(err)
+	}
+
 	reg := bf.StatsRegistry("allsat")
 	res, err := allsatpre.EnumerateDimacsOpts(bytes.NewReader(data), allsatpre.DimacsOptions{
-		Engine: eng, Proj: proj, Preprocess: *pre,
+		Engine: eng, Proj: proj, Preprocess: *pre, Simplify: smode,
 		Budget: bf.Budget(), MaxCubes: int(bf.MaxCubes), Workers: bf.Workers, Stats: reg,
 	})
 	if err != nil {

@@ -24,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -43,12 +44,19 @@ type Benchmark struct {
 
 // Run is one recorded benchmark invocation.
 type Run struct {
-	Label      string      `json:"label,omitempty"` // e.g. the git commit
-	Date       string      `json:"date,omitempty"`
-	GoOS       string      `json:"goos,omitempty"`
-	GoArch     string      `json:"goarch,omitempty"`
-	Pkg        string      `json:"pkg,omitempty"`
-	CPU        string      `json:"cpu,omitempty"`
+	Label  string `json:"label,omitempty"` // e.g. the git commit
+	Date   string `json:"date,omitempty"`
+	GoOS   string `json:"goos,omitempty"`
+	GoArch string `json:"goarch,omitempty"`
+	Pkg    string `json:"pkg,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	// Host context recorded by benchjson itself (not parsed from the
+	// bench output): parallel-benchmark numbers are meaningless without
+	// the scheduler width and machine they ran on.
+	GoMaxProcs int         `json:"gomaxprocs,omitempty"`
+	NumCPU     int         `json:"numcpu,omitempty"`
+	Host       string      `json:"host,omitempty"`
+	GoVersion  string      `json:"goversion,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
 	Raw        []string    `json:"raw"` // verbatim lines, benchstat input
 }
@@ -84,6 +92,12 @@ func main() {
 	}
 	cur.Label = *label
 	cur.Date = time.Now().UTC().Format(time.RFC3339)
+	cur.GoMaxProcs = runtime.GOMAXPROCS(0)
+	cur.NumCPU = runtime.NumCPU()
+	cur.GoVersion = runtime.Version()
+	if host, err := os.Hostname(); err == nil {
+		cur.Host = host
+	}
 
 	doc := &Document{Schema: "allsatpre-bench/v1", Current: cur}
 	if *baseline != "" {

@@ -22,6 +22,7 @@ import (
 func main() {
 	bound := flag.Int("bound", 20, "maximum counterexample length")
 	bf := genspec.AddBudgetFlags(flag.CommandLine)
+	simplifyFlag := genspec.AddSimplifyFlag(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() < 3 {
 		fmt.Fprintln(os.Stderr, "usage: bmc [flags] circuit INIT-PATTERN BAD-PATTERN [BAD-PATTERN ...]")
@@ -40,9 +41,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	smode, err := genspec.SimplifyMode(*simplifyFlag)
+	if err != nil {
+		fatal(err)
+	}
 	t := stats.StartTimer()
 	res, err := allsatpre.BMCOpts(c, init, bad, *bound,
-		allsatpre.BMCOptions{Budget: bf.Budget(), Workers: bf.Workers})
+		allsatpre.BMCOptions{Budget: bf.Budget(), Workers: bf.Workers, Simplify: smode})
 	if err != nil {
 		fatal(err)
 	}

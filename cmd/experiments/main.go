@@ -30,13 +30,21 @@ func main() {
 	steps := flag.Int("steps", 6, "step cap for table3 reachability")
 	bf := genspec.AddBudgetFlags(flag.CommandLine)
 	incremental := genspec.AddIncrementalFlag(flag.CommandLine)
+	simplifyFlag := genspec.AddSimplifyFlag(flag.CommandLine)
 	flag.Parse()
+
+	smode, err := genspec.SimplifyMode(*simplifyFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
 
 	// Budgeted rows truncate loudly inside the tables (">N TRUNCATED(...)"
 	// cells) instead of hanging the harness on a wedged workload.
 	experiments.RunBudget = bf.Budget()
 	experiments.RunWorkers = bf.Workers
 	experiments.RunIncremental = *incremental
+	experiments.RunSimplify = smode
 	reg := bf.StatsRegistry("experiments")
 	experiments.RunStats = reg
 

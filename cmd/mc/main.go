@@ -29,6 +29,7 @@ func main() {
 	vcd := flag.String("vcd", "", "write the counterexample trace as a VCD waveform here")
 	bf := genspec.AddBudgetFlags(flag.CommandLine)
 	incremental := genspec.AddIncrementalFlag(flag.CommandLine)
+	simplifyFlag := genspec.AddSimplifyFlag(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() < 3 {
 		fmt.Fprintln(os.Stderr, "usage: mc [flags] circuit INIT-PATTERN BAD-PATTERN [BAD-PATTERN ...]")
@@ -52,11 +53,16 @@ func main() {
 		fatal(err)
 	}
 
+	smode, err := genspec.SimplifyMode(*simplifyFlag)
+	if err != nil {
+		fatal(err)
+	}
+
 	t := stats.StartTimer()
 	reg := bf.StatsRegistry("mc")
 	res, err := allsatpre.CheckReachable(c, init, bad, *steps,
 		allsatpre.Options{Engine: eng, Budget: bf.Budget(), Parallel: bf.Workers,
-			Incremental: *incremental, Stats: reg})
+			Incremental: *incremental, Simplify: smode, Stats: reg})
 	if err != nil {
 		fatal(err)
 	}

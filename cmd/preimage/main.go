@@ -28,6 +28,7 @@ func main() {
 	kstep := flag.Int("kstep", 0, "with k > 0, enumerate all states reaching the target within k steps (one unrolled all-SAT call; SAT engines only)")
 	bf := genspec.AddBudgetFlags(flag.CommandLine)
 	incremental := genspec.AddIncrementalFlag(flag.CommandLine)
+	simplifyFlag := genspec.AddSimplifyFlag(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() < 2 {
 		fmt.Fprintln(os.Stderr, "usage: preimage [flags] circuit.bench|spec pattern [pattern ...]")
@@ -44,9 +45,14 @@ func main() {
 		fatal(err)
 	}
 
+	smode, err := genspec.SimplifyMode(*simplifyFlag)
+	if err != nil {
+		fatal(err)
+	}
+
 	reg := bf.StatsRegistry("preimage")
 	opts := allsatpre.Options{Engine: eng, Budget: bf.Budget(), Parallel: bf.Workers,
-		Incremental: *incremental, Stats: reg}
+		Incremental: *incremental, Simplify: smode, Stats: reg}
 	var res *allsatpre.Result
 	if *kstep > 0 {
 		res, err = allsatpre.KStepPreimage(c, opts, *kstep, flag.Args()[1:]...)

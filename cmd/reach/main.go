@@ -24,6 +24,7 @@ func main() {
 	steps := flag.Int("steps", 0, "maximum preimage steps (<= 0: run to fixpoint)")
 	bf := genspec.AddBudgetFlags(flag.CommandLine)
 	incremental := genspec.AddIncrementalFlag(flag.CommandLine)
+	simplifyFlag := genspec.AddSimplifyFlag(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() < 2 {
 		fmt.Fprintln(os.Stderr, "usage: reach [flags] circuit.bench|spec pattern [pattern ...]")
@@ -38,11 +39,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	smode, err := genspec.SimplifyMode(*simplifyFlag)
+	if err != nil {
+		fatal(err)
+	}
 	t := stats.StartTimer()
 	reg := bf.StatsRegistry("reach")
 	r, err := allsatpre.BackwardReach(c,
 		allsatpre.Options{Engine: eng, Budget: bf.Budget(), Parallel: bf.Workers,
-			Incremental: *incremental, Stats: reg},
+			Incremental: *incremental, Simplify: smode, Stats: reg},
 		*steps, flag.Args()[1:]...)
 	if err != nil {
 		fatal(err)

@@ -26,7 +26,10 @@ import (
 
 	"allsatpre/internal/budget"
 	"allsatpre/internal/cnf"
+	"allsatpre/internal/genspec"
+	"allsatpre/internal/lit"
 	"allsatpre/internal/sat"
+	"allsatpre/internal/simplify"
 )
 
 func main() {
@@ -34,6 +37,7 @@ func main() {
 	verify := flag.Bool("verify", false, "self-check the DRUP proof after an UNSAT answer")
 	model := flag.Bool("model", false, "print the model as a DIMACS v-line on SAT")
 	workers := flag.Int("workers", runtime.NumCPU(), "portfolio size (default = CPU count; 1 = single solver)")
+	simplifyFlag := genspec.AddSimplifyFlag(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: satcheck [flags] file.cnf|-")
@@ -58,7 +62,33 @@ func main() {
 	}
 
 	wantProof := *proofPath != "" || *verify
+	smode, err := genspec.SimplifyMode(*simplifyFlag)
+	if err != nil {
+		fatal(err)
+	}
+	// Unlike the enumeration tools, a decision procedure defaults the
+	// preprocessor off: a DRUP proof must derive from the original clause
+	// database, so -simplify=on and proof emission are mutually exclusive,
+	// and auto keeps the formula the proof checker will see.
+	var sres *simplify.Result
+	if smode == simplify.On {
+		if wantProof {
+			fatal(fmt.Errorf("-simplify=on is incompatible with -proof/-verify: the DRUP proof must be over the original formula"))
+		}
+		// No projection to protect here, so nothing is frozen: full
+		// variable elimination, with the model reconstructed from the
+		// elimination stack afterwards.
+		sres = simplify.Run(formula, func(lit.Var) bool { return false }, simplify.Options{})
+		fmt.Printf("c simplify: vars-eliminated=%d units=%d subsumed=%d strengthened=%d clauses %d->%d\n",
+			sres.Stats.VarsEliminated, sres.Stats.UnitsFixed, sres.Stats.ClausesSubsumed,
+			sres.Stats.LitsStrengthened, sres.Stats.ClausesBefore, sres.Stats.ClausesAfter)
+	}
 	st, proofBuf, stats := solve(formula, *workers, wantProof)
+	if st == sat.Sat && sres != nil {
+		// Extend the simplified-formula model over the eliminated
+		// variables so the printed v-line satisfies the original formula.
+		stats.model = sres.Extend(stats.model)
+	}
 	fmt.Printf("c vars=%d clauses=%d decisions=%d conflicts=%d propagations=%d\n",
 		formula.NumVars, len(formula.Clauses), stats.decisions, stats.conflicts, stats.propagations)
 

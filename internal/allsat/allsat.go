@@ -29,6 +29,7 @@ import (
 	"allsatpre/internal/cube"
 	"allsatpre/internal/lit"
 	"allsatpre/internal/sat"
+	"allsatpre/internal/simplify"
 )
 
 // Stats aggregates enumeration counters.
@@ -62,6 +63,9 @@ type Stats struct {
 	// Kernel snapshots the BDD manager's unique-table and apply-cache
 	// gauges for the run (merged across managers when several are used).
 	Kernel bdd.KernelStats
+	// Simplify reports the preprocessing pass (Simplify.Applied is false
+	// when simplification was disabled for the run).
+	Simplify simplify.Stats
 }
 
 // Result is the outcome of an enumeration.
@@ -105,6 +109,45 @@ type Options struct {
 	// The merged cover denotes the same solution set as the sequential
 	// run for every worker count. 0 or 1 enumerates sequentially.
 	Workers int
+	// Simplify controls projection-safe CNF preprocessing ahead of
+	// enumeration (internal/simplify): bounded elimination of auxiliary
+	// variables, subsumption, self-subsuming resolution, and top-level
+	// failed-literal probing, with the projection variables (plus Frozen)
+	// never eliminated — so the enumerated cover is identical with or
+	// without it. Auto resolves to on for the Enumerate* entry points and
+	// the public iterators; pass Off when the input clause indices must
+	// stay stable (e.g. proof logging).
+	Simplify simplify.Mode
+	// Frozen names extra variables beyond the projection space that the
+	// simplifier must preserve: activation/selector literals, next-state
+	// variables a caller will constrain incrementally.
+	Frozen []lit.Var
+}
+
+// maybeSimplify preprocesses f (on a clone — the caller's formula is
+// never mutated) when opts.Simplify resolves to enabled, freezing the
+// projection variables plus opts.Frozen. It flips opts.Simplify to Off so
+// inner layers (parallel fallback, per-worker iterators) never re-run the
+// pass on the already-simplified formula.
+func maybeSimplify(f *cnf.Formula, space *cube.Space, opts *Options) (*cnf.Formula, simplify.Stats) {
+	if !opts.Simplify.Enabled(true) {
+		return f, simplify.Stats{}
+	}
+	opts.Simplify = simplify.Off
+	frozen := make([]bool, f.NumVars)
+	for _, v := range space.Vars() {
+		if int(v) < len(frozen) {
+			frozen[v] = true
+		}
+	}
+	for _, v := range opts.Frozen {
+		if int(v) < len(frozen) {
+			frozen[v] = true
+		}
+	}
+	sf := f.Clone()
+	res := simplify.Run(sf, func(v lit.Var) bool { return frozen[v] }, simplify.Options{})
+	return sf, res.Stats
 }
 
 // countCover computes the exact minterm count of a cover by building its
@@ -162,6 +205,13 @@ func EnumerateDisjoint(f *cnf.Formula, space *cube.Space, opts Options) *Result 
 }
 
 func enumerateEngine(f *cnf.Formula, space *cube.Space, opts Options, eng engineKind) *Result {
+	f, sstats := maybeSimplify(f, space, &opts)
+	res := enumerateSimplified(f, space, opts, eng)
+	res.Stats.Simplify = sstats
+	return res
+}
+
+func enumerateSimplified(f *cnf.Formula, space *cube.Space, opts Options, eng engineKind) *Result {
 	if opts.Workers > 1 && space.Size() > 0 {
 		return enumerateParallel(f, space, opts, eng)
 	}

@@ -6,6 +6,7 @@ import (
 	"allsatpre/internal/cube"
 	"allsatpre/internal/lit"
 	"allsatpre/internal/sat"
+	"allsatpre/internal/simplify"
 )
 
 // DisjointIterator streams the pairwise-disjoint solution cubes of the
@@ -26,18 +27,26 @@ type DisjointIterator struct {
 
 // NewDisjointIterator prepares a disjoint enumeration of the solutions of
 // f projected onto space. An Options.Budget bounds the whole iteration;
-// when it trips, Next returns false and Reason reports the limit.
+// when it trips, Next returns false and Reason reports the limit. Unless
+// opts.Simplify is Off, f is preprocessed first (on a clone); cubes stay
+// pairwise disjoint and their union is unchanged — simplification
+// preserves the projected solution set, and unit clauses pinning subcube
+// prefixes are frozen (projection vars), so they survive the pass.
 func NewDisjointIterator(f *cnf.Formula, space *cube.Space, opts Options) *DisjointIterator {
+	var sstats simplify.Stats
+	f, sstats = maybeSimplify(f, space, &opts)
 	satOpts := opts.SAT
 	if satOpts.Budget.IsZero() {
 		satOpts.Budget = opts.Budget.Materialize()
 	}
 	s := sat.FromFormula(f, satOpts)
-	return &DisjointIterator{
+	it := &DisjointIterator{
 		s:     s,
 		ch:    sat.NewChronoEnum(s, space.Vars()),
 		space: space,
 	}
+	it.stats.Simplify = sstats
+	return it
 }
 
 // Next returns the next solution cube, or ok=false when the enumeration

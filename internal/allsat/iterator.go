@@ -6,6 +6,7 @@ import (
 	"allsatpre/internal/cube"
 	"allsatpre/internal/lit"
 	"allsatpre/internal/sat"
+	"allsatpre/internal/simplify"
 )
 
 // Iterator enumerates projected solutions one cube at a time, so callers
@@ -25,8 +26,12 @@ type Iterator struct {
 // NewIterator prepares an iterator over the solutions of f projected onto
 // space. With lift, each returned cube is greedily enlarged first. An
 // Options.Budget bounds the whole iteration; when it trips, Next returns
-// false and Reason reports the limit.
+// false and Reason reports the limit. Unless opts.Simplify is Off, f is
+// preprocessed first (on a clone; the caller's formula is untouched) —
+// the stream denotes the same solution set either way.
 func NewIterator(f *cnf.Formula, space *cube.Space, opts Options, lift bool) *Iterator {
+	var sstats simplify.Stats
+	f, sstats = maybeSimplify(f, space, &opts)
 	satOpts := opts.SAT
 	if satOpts.Budget.IsZero() {
 		satOpts.Budget = opts.Budget.Materialize()
@@ -35,7 +40,11 @@ func NewIterator(f *cnf.Formula, space *cube.Space, opts Options, lift bool) *It
 		s:     sat.FromFormula(f, satOpts),
 		space: space,
 	}
+	it.stats.Simplify = sstats
 	if lift {
+		// Lift against the simplified formula: a cube all of whose
+		// completions satisfy the simplified formula denotes completions
+		// inside its projection, which equals the original's projection.
 		it.lifter = newModelLifter(f, space, opts.LiftOrder)
 	}
 	return it

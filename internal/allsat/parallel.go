@@ -10,6 +10,7 @@ import (
 	"allsatpre/internal/cnf"
 	"allsatpre/internal/cube"
 	"allsatpre/internal/partition"
+	"allsatpre/internal/simplify"
 )
 
 // Parallel returns a copy of the options with the worker count set —
@@ -47,9 +48,11 @@ func enumerateParallel(f *cnf.Formula, space *cube.Space, opts Options, eng engi
 	k := partition.PrefixDepth(space, workers, 2)
 	subs := partition.Split(space, k)
 	if len(subs) <= 1 {
+		// f is already simplified by the enumerateEngine entry point
+		// (opts.Simplify is Off here), so skip straight to the loop.
 		seq := opts
 		seq.Workers = 0
-		return enumerateEngine(f, space, seq, eng)
+		return enumerateSimplified(f, space, seq, eng)
 	}
 	if workers > len(subs) {
 		workers = len(subs)
@@ -196,6 +199,8 @@ func NewParallelDisjointIterator(f *cnf.Formula, space *cube.Space, opts Options
 }
 
 func newParallelIterator(f *cnf.Formula, space *cube.Space, opts Options, eng engineKind) *ParallelIterator {
+	var sstats simplify.Stats
+	f, sstats = maybeSimplify(f, space, &opts)
 	workers := opts.Workers
 	if workers < 1 {
 		workers = 1
@@ -210,6 +215,7 @@ func newParallelIterator(f *cnf.Formula, space *cube.Space, opts Options, eng en
 		ch:     make(chan cube.Cube, 4*workers),
 		cancel: cancel,
 	}
+	p.stats.Simplify = sstats
 	k := partition.PrefixDepth(space, workers, 2)
 	subs := partition.Split(space, k)
 	if workers > len(subs) {

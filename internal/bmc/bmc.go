@@ -20,6 +20,7 @@ import (
 	"allsatpre/internal/lit"
 	"allsatpre/internal/preimage"
 	"allsatpre/internal/sat"
+	"allsatpre/internal/simplify"
 	"allsatpre/internal/tseitin"
 )
 
@@ -35,6 +36,15 @@ type Options struct {
 	// checker (solver + unrolling) per worker — see CheckParallel. The
 	// Reachable/Depth outcome matches the sequential sweep exactly.
 	Workers int
+	// Simplify controls projection-safe preprocessing of the per-frame
+	// transition CNF before unrolling (internal/simplify). State, input,
+	// and next-state variables are frozen, so every frame's
+	// (s_k, i_k, s_k+1) projection — and therefore the Reachable/Depth
+	// verdict and the extracted trace — is unchanged; only the auxiliary
+	// Tseitin variables are eliminated, shrinking every unrolled frame.
+	// Auto resolves to on. The pass runs once per checker on a private
+	// clone of the (shared, memoized) encoding.
+	Simplify simplify.Mode
 }
 
 // Result is the outcome of a BMC run.
@@ -94,6 +104,23 @@ func NewOpts(c *circuit.Circuit, init, bad *cube.Cover, opts Options) (*Checker,
 	enc, err := tseitin.EncodeCached(c)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Simplify.Enabled(true) {
+		// EncodeCached returns a shared, memoized encoding — simplify a
+		// private copy, never the cache entry other checkers see.
+		f := enc.F.Clone()
+		frozen := make([]bool, f.NumVars)
+		for _, vs := range [][]lit.Var{enc.StateVars, enc.InputVars, enc.NextStateVars} {
+			for _, v := range vs {
+				if int(v) < len(frozen) {
+					frozen[v] = true
+				}
+			}
+		}
+		simplify.Run(f, func(v lit.Var) bool { return frozen[v] }, simplify.Options{})
+		e2 := *enc
+		e2.F = f
+		enc = &e2
 	}
 	satOpts := opts.SAT
 	if satOpts.Budget.IsZero() {

@@ -26,10 +26,10 @@ func TestParallelMatchesSequentialSweep(t *testing.T) {
 		init, bad string
 		bound     int
 	}{
-		{"counter-hit", 4, "0000", "1010", 10},   // depth 5
-		{"counter-miss", 4, "0000", "1111", 6},   // deeper than bound
-		{"depth-zero", 3, "1X0", "110", 4},       // init ∩ bad
-		{"unreach-evens", 3, "000", "XX1", 8},    // counter steps keep parity until bit0 set
+		{"counter-hit", 4, "0000", "1010", 10}, // depth 5
+		{"counter-miss", 4, "0000", "1111", 6}, // deeper than bound
+		{"depth-zero", 3, "1X0", "110", 4},     // init ∩ bad
+		{"unreach-evens", 3, "000", "XX1", 8},  // counter steps keep parity until bit0 set
 	}
 	for _, tc := range cases {
 		c := gen.Counter(tc.n, true, false)

@@ -250,7 +250,7 @@ func New(f *cnf.Formula, space *cube.Space, opts Options) *Enumerator {
 		if cnt == 0 {
 			continue
 		}
-		e.occ[l] = occBack[pos:pos : pos+int(cnt)]
+		e.occ[l] = occBack[pos : pos : pos+int(cnt)]
 		pos += int(cnt)
 	}
 	totalWatch := 0
@@ -265,7 +265,7 @@ func New(f *cnf.Formula, space *cube.Space, opts Options) *Enumerator {
 		}
 		// Three-index caps keep a list that later outgrows its chunk from
 		// stomping its neighbour: the overflowing append reallocates.
-		e.watches[l] = watchBack[pos:pos : pos+int(cnt)]
+		e.watches[l] = watchBack[pos : pos : pos+int(cnt)]
 		pos += int(cnt)
 	}
 	litBack := make([]lit.Lit, 0, totalLits)

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"allsatpre/internal/budget"
+	"allsatpre/internal/simplify"
 	"allsatpre/internal/stats"
 )
 
@@ -68,6 +69,29 @@ func AddBudgetFlags(fs *flag.FlagSet) *BudgetFlags {
 func AddIncrementalFlag(fs *flag.FlagSet) *bool {
 	return fs.Bool("incremental", false,
 		"reuse one solver session and BDD manager across reachability steps (bit-identical results, session-global budgets)")
+}
+
+// AddSimplifyFlag registers -simplify on fs as a tri-state string
+// (auto|on|off). Parse the value with SimplifyMode after fs.Parse. Auto
+// follows each entry point's default: on for one-shot enumeration, off
+// for incremental sessions.
+func AddSimplifyFlag(fs *flag.FlagSet) *string {
+	return fs.String("simplify", "auto",
+		"projection-safe CNF preprocessing before enumeration: auto, on, or off (the enumerated state set is identical either way)")
+}
+
+// SimplifyMode parses an -simplify flag value.
+func SimplifyMode(s string) (simplify.Mode, error) {
+	switch s {
+	case "auto", "":
+		return simplify.Auto, nil
+	case "on", "true", "1":
+		return simplify.On, nil
+	case "off", "false", "0":
+		return simplify.Off, nil
+	default:
+		return simplify.Auto, fmt.Errorf("invalid -simplify value %q (want auto, on, or off)", s)
+	}
 }
 
 // Budget builds the resource budget described by the parsed flags. The

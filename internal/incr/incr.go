@@ -20,6 +20,7 @@ import (
 	"allsatpre/internal/cube"
 	"allsatpre/internal/lit"
 	"allsatpre/internal/pool"
+	"allsatpre/internal/simplify"
 	"allsatpre/internal/stats"
 	"allsatpre/internal/trans"
 )
@@ -40,6 +41,16 @@ type Options struct {
 	// matching preimage.Options.
 	InputFirst bool
 	Interleave bool
+	// Simplify opts the base transition CNF into the projection-safe
+	// preprocessing pass (internal/simplify) before the persistent
+	// solvers are built. Off by default — an explicit opt-in, unlike the
+	// one-shot paths: the session retargets the clause database in place,
+	// so the frozen set must cover everything future steps constrain.
+	// State, input, and next-state variables are frozen, which is exactly
+	// that set (Retarget/RetargetInit clauses touch only next-state or
+	// state variables plus fresh activation/selector variables allocated
+	// after the pass, so they can never be eliminated).
+	Simplify bool
 	// Stats, when non-nil, receives the incr.* counters.
 	Stats *stats.Registry
 }
@@ -91,6 +102,7 @@ func NewBackward(c *circuit.Circuit, opts Options) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
+	simplifyBase(inst, opts)
 	encodeTime := time.Since(t0)
 	projVars, projNames := inst.OrderedProjection(opts.InputFirst, opts.Interleave)
 	s := &Session{
@@ -117,6 +129,7 @@ func NewForward(c *circuit.Circuit, opts Options) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
+	simplifyBase(inst, opts)
 	encodeTime := time.Since(t0)
 	next := dedupVars(inst.NextVars)
 	s := &Session{
@@ -129,6 +142,33 @@ func NewForward(c *circuit.Circuit, opts Options) (*Session, error) {
 	}
 	s.ps = newPoolSession(inst, s.projSpace, opts)
 	return s, nil
+}
+
+// simplifyBase preprocesses the session's base CNF in place (it is a
+// private clone, see trans.NewBaseInstance) when the caller opted in,
+// freezing every variable a future Retarget step may constrain. The
+// preprocessing cost is folded into the session's encode time — it is
+// paid once and amortized over every step, like the encoding itself.
+func simplifyBase(inst *trans.Instance, opts Options) {
+	if !opts.Simplify {
+		return
+	}
+	frozen := make([]bool, inst.F.NumVars)
+	for _, vs := range [][]lit.Var{inst.StateVars, inst.InputVars, inst.NextVars} {
+		for _, v := range vs {
+			if int(v) < len(frozen) {
+				frozen[v] = true
+			}
+		}
+	}
+	res := simplify.Run(inst.F, func(v lit.Var) bool { return frozen[v] }, simplify.Options{})
+	if reg := opts.Stats; reg != nil && res.Stats.Applied {
+		reg.Counter("incr.simplify-vars-eliminated").Add(uint64(res.Stats.VarsEliminated))
+		reg.Counter("incr.simplify-clauses-subsumed").Add(uint64(res.Stats.ClausesSubsumed))
+		reg.Counter("incr.simplify-lits-strengthened").Add(uint64(res.Stats.LitsStrengthened))
+		reg.Counter("incr.simplify-resolvents-added").Add(uint64(res.Stats.ResolventsAdded))
+		reg.Counter("incr.simplify-probe-failures").Add(uint64(res.Stats.ProbeFailures))
+	}
 }
 
 func newPoolSession(inst *trans.Instance, space *cube.Space, opts Options) *pool.Session {

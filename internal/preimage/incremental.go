@@ -22,6 +22,7 @@ import (
 	"allsatpre/internal/incr"
 	"allsatpre/internal/lit"
 	"allsatpre/internal/sat"
+	"allsatpre/internal/simplify"
 	"allsatpre/internal/trans"
 )
 
@@ -57,7 +58,11 @@ func incrOptions(opts Options) incr.Options {
 		Budget:     bud,
 		InputFirst: opts.InputFirstOrder,
 		Interleave: opts.Interleave,
-		Stats:      opts.Stats,
+		// Sessions default off regardless of the one-shot default: only an
+		// explicit On opts in (Auto means "context default", and the
+		// incremental context's default is no preprocessing).
+		Simplify: opts.Simplify == simplify.On,
+		Stats:    opts.Stats,
 	}
 }
 

@@ -38,6 +38,7 @@ import (
 	"allsatpre/internal/cube"
 	"allsatpre/internal/lit"
 	"allsatpre/internal/pool"
+	"allsatpre/internal/simplify"
 	"allsatpre/internal/stats"
 	"allsatpre/internal/trans"
 )
@@ -98,6 +99,17 @@ type Options struct {
 	// projection of the model set is preserved exactly, so all engines
 	// return identical covers with or without it.
 	EliminateAux bool
+	// Simplify controls the full projection-safe preprocessing pass
+	// (internal/simplify: bounded variable elimination, subsumption,
+	// self-subsuming resolution, failed-literal probing) over the
+	// instance CNF before a SAT engine runs, with the projection
+	// variables frozen. The enumerated cover is identical with or
+	// without it — the pass preserves the projected solution set
+	// exactly. Auto resolves to on for the one-shot SAT engines;
+	// the BDD engine has no CNF and ignores it. Incremental sessions
+	// default off (the session retargets the clause database in place);
+	// pass On to opt in there, see Options.Incremental.
+	Simplify simplify.Mode
 	// Restrict, when non-nil, intersects the preimage with the given
 	// present-state cube (one position per latch): only predecessors
 	// inside the cube are enumerated. It is also the splitting mechanism
@@ -233,11 +245,57 @@ func Compute(c *circuit.Circuit, target *cube.Cover, opts Options) (*Result, err
 	return res, err
 }
 
+// applySimplify preprocesses f in place when opts.Simplify resolves to
+// enabled, freezing the projection variables so the projected solution
+// set — and therefore every engine's cover — is unchanged. Every caller
+// passes an instance-local formula (trans.NewInstance clones the cached
+// encoding; KStepPreimage builds a private unrolling), so mutating in
+// place is safe. The decision is made once at this layer: both the local
+// mode and the nested allsat mode are flipped to Off so inner layers
+// never re-run (or independently enable) the pass.
+func applySimplify(f *cnf.Formula, projSpace *cube.Space, opts *Options) simplify.Stats {
+	enabled := opts.Simplify.Enabled(true)
+	opts.Simplify = simplify.Off
+	opts.AllSAT.Simplify = simplify.Off
+	if !enabled {
+		return simplify.Stats{}
+	}
+	frozen := make([]bool, f.NumVars)
+	for _, v := range projSpace.Vars() {
+		if int(v) < len(frozen) {
+			frozen[v] = true
+		}
+	}
+	res := simplify.Run(f, func(v lit.Var) bool { return frozen[v] }, simplify.Options{})
+	return res.Stats
+}
+
 // runSATEngine dispatches one all-SAT enumeration for the selected SAT
 // engine, injecting the computation budget into the engine options. The
 // injection happens after the Core zero-value check so default tuning is
-// preserved; an explicitly set engine budget wins over opts.Budget.
+// preserved; an explicitly set engine budget wins over opts.Budget. The
+// formula is simplified first (see applySimplify) unless the caller
+// already did or opted out.
 func runSATEngine(f *cnf.Formula, projSpace *cube.Space, opts Options) (*allsat.Result, error) {
+	if r := opts.Budget.Start().Now(); r != budget.None {
+		// Dead budget: abort before preprocessing (see computeSAT).
+		return &allsat.Result{
+			Space:   projSpace,
+			Cover:   cube.NewCover(projSpace),
+			Count:   new(big.Int),
+			Aborted: true,
+			Reason:  r,
+		}, nil
+	}
+	sstats := applySimplify(f, projSpace, &opts)
+	ar, err := runSATEngineSimplified(f, projSpace, opts)
+	if ar != nil && sstats.Applied {
+		ar.Stats.Simplify = sstats
+	}
+	return ar, err
+}
+
+func runSATEngineSimplified(f *cnf.Formula, projSpace *cube.Space, opts Options) (*allsat.Result, error) {
 	switch opts.Engine {
 	case EngineSuccessDriven:
 		_, ar := runSuccessDriven(f, projSpace, opts)
@@ -327,10 +385,23 @@ func recordStats(reg *stats.Registry, r *Result, elapsed time.Duration) {
 		reg.SetFloatGauge("kernel-load-factor", k.LoadFactor())
 		reg.SetFloatGauge("kernel-avg-probes", k.AvgProbes())
 	}
+	if sp := r.Stats.Simplify; sp.Applied {
+		reg.Counter("simplify-runs").Inc()
+		reg.Counter("simplify-vars-eliminated").Add(uint64(sp.VarsEliminated))
+		reg.Counter("simplify-units-fixed").Add(uint64(sp.UnitsFixed))
+		reg.Counter("simplify-clauses-subsumed").Add(uint64(sp.ClausesSubsumed))
+		reg.Counter("simplify-lits-strengthened").Add(uint64(sp.LitsStrengthened))
+		reg.Counter("simplify-resolvents-added").Add(uint64(sp.ResolventsAdded))
+		reg.Counter("simplify-probes").Add(uint64(sp.Probes))
+		reg.Counter("simplify-probe-failures").Add(uint64(sp.ProbeFailures))
+		if sp.ClausesAfter < sp.ClausesBefore {
+			reg.Counter("simplify-clauses-removed").Add(uint64(sp.ClausesBefore - sp.ClausesAfter))
+		}
+	}
 	reg.AddDuration("time", elapsed)
 	if r.Aborted {
 		reg.Counter("aborts").Inc()
-		reg.Counter("abort-"+r.AbortReason.String()).Inc()
+		reg.Counter("abort-" + r.AbortReason.String()).Inc()
 	}
 }
 
@@ -436,6 +507,22 @@ func projectionOrder(inst *trans.Instance, opts Options) ([]lit.Var, []string) {
 }
 
 func computeSAT(c *circuit.Circuit, target *cube.Cover, opts Options) (*Result, error) {
+	// Poll once up front: an already-expired deadline or cancelled context
+	// aborts before any encoding or preprocessing effort is spent. (The
+	// engines poll too, but preprocessing can solve small instances
+	// outright, in zero decisions — without this check such a run would
+	// look complete despite the dead budget.)
+	if r := opts.Budget.Start().Now(); r != budget.None {
+		stateSpace := StateSpace(c)
+		return &Result{
+			States:      cube.NewCover(stateSpace),
+			StateSpace:  stateSpace,
+			Count:       new(big.Int),
+			Engine:      opts.Engine,
+			Aborted:     true,
+			AbortReason: r,
+		}, nil
+	}
 	inst, err := trans.NewInstance(c, target)
 	if err != nil {
 		return nil, err
@@ -463,6 +550,8 @@ func computeSAT(c *circuit.Circuit, target *cube.Cover, opts Options) (*Result, 
 		cnf.EliminateVars(inst.F, func(v lit.Var) bool { return !isProj[v] }, 0)
 	}
 
+	sstats := applySimplify(inst.F, projSpace, &opts)
+
 	var res *allsat.Result
 	var pr *pool.Result
 	if opts.Engine == EngineSuccessDriven {
@@ -473,6 +562,7 @@ func computeSAT(c *circuit.Circuit, target *cube.Cover, opts Options) (*Result, 
 			return nil, err
 		}
 	}
+	res.Stats.Simplify = sstats
 
 	stateSpace := StateSpace(c)
 	// Project the (ordered) projection cover onto the state positions.

@@ -87,13 +87,37 @@ func (s *Solver) analyze(confl *clause) (learnt []lit.Lit, btLevel, lbd int) {
 		btLevel = s.level[learnt[1].Var()]
 	}
 
-	// LBD: number of distinct decision levels.
-	lbdSeen := map[int]bool{}
-	for _, q := range learnt {
-		lbdSeen[s.level[q.Var()]] = true
+	return learnt, btLevel, s.computeLBD(learnt)
+}
+
+// computeLBD counts the distinct decision levels among the literals using
+// a generation-stamped scratch array: one conflict bumps the generation,
+// so clearing is free and the hot path allocates nothing (the map this
+// replaces cost one allocation plus hashing per conflict — see
+// BenchmarkAnalyzeLBD).
+func (s *Solver) computeLBD(lits []lit.Lit) (lbd int) {
+	s.lbdGen++
+	if s.lbdGen == 0 {
+		// Generation counter wrapped: wipe stale stamps so marks from
+		// 2^32 conflicts ago cannot read as current.
+		for i := range s.lbdStamp {
+			s.lbdStamp[i] = 0
+		}
+		s.lbdGen = 1
 	}
-	lbd = len(lbdSeen)
-	return learnt, btLevel, lbd
+	for _, q := range lits {
+		lvl := s.level[q.Var()]
+		if lvl >= len(s.lbdStamp) {
+			// Levels are bounded by the variable count; grow once to the
+			// current need and amortize like any scratch slice.
+			s.lbdStamp = append(s.lbdStamp, make([]uint32, lvl+1-len(s.lbdStamp))...)
+		}
+		if s.lbdStamp[lvl] != s.lbdGen {
+			s.lbdStamp[lvl] = s.lbdGen
+			lbd++
+		}
+	}
+	return lbd
 }
 
 func (s *Solver) abstractLevel(v lit.Var) uint32 {

@@ -132,6 +132,8 @@ type Solver struct {
 	// analyze scratch
 	analyzeStack []lit.Lit
 	analyzeToClr []lit.Lit
+	lbdStamp     []uint32 // per-level stamps for computeLBD
+	lbdGen       uint32   // current computeLBD generation
 
 	check      *budget.Checker // live budget checker, nil when unbounded
 	stopReason budget.Reason   // why the last Solve returned Unknown

@@ -75,6 +75,49 @@ func TestRegistryConcurrentHammer(t *testing.T) {
 // the session goroutine, the per-worker pool goroutines, and whatever
 // reports stats at the end, so a lock-coverage regression on these keys
 // surfaces here under -race before it corrupts a real run's report.
+// TestRegistrySimplifyKeysHammer hammers the exact metric keys the
+// projection-safe preprocessor publishes (preimage.recordStats and the
+// incr session's incr.simplify-* variants), concurrently with snapshot
+// readers — the preimage path records them from whichever goroutine
+// finishes a parallel run, so the same lock-coverage guarantee applies.
+func TestRegistrySimplifyKeysHammer(t *testing.T) {
+	reg := NewRegistry("simplify-hammer")
+	counters := []string{
+		"simplify-runs", "simplify-vars-eliminated", "simplify-units-fixed",
+		"simplify-clauses-subsumed", "simplify-lits-strengthened",
+		"simplify-resolvents-added", "simplify-probes", "simplify-probe-failures",
+		"simplify-clauses-removed",
+		"incr.simplify-vars-eliminated", "incr.simplify-clauses-subsumed",
+		"incr.simplify-lits-strengthened", "incr.simplify-resolvents-added",
+		"incr.simplify-probe-failures",
+	}
+	const (
+		goroutines = 8
+		rounds     = 300
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				for _, k := range counters {
+					reg.Counter(k).Inc()
+				}
+				if i%64 == 0 {
+					_ = reg.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, k := range counters {
+		if got := reg.Counter(k).Load(); got != goroutines*rounds {
+			t.Errorf("%s = %d, want %d", k, got, goroutines*rounds)
+		}
+	}
+}
+
 func TestRegistryIncrKeysHammer(t *testing.T) {
 	reg := NewRegistry("incr-hammer")
 	counters := []string{

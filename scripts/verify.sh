@@ -14,4 +14,10 @@ go test -race -short ./...
 # thread and with real preemption under the race detector.
 GOMAXPROCS=1 go test -run 'TestDeterministic|TestAbortSoundness' ./internal/preimage/
 GOMAXPROCS=4 go test -race -run 'TestDeterministic|TestAbortSoundness' ./internal/preimage/
-go test -run '^$' -bench 'Table|ParallelEnumerate|ReachIncremental' -benchtime=1x -benchmem .
+# The simplify equivalence suite is the CI gate for the preprocessor: if
+# -simplify changes any engine's enumerated state set on the determinism
+# circuits, this fails the build. Run it pinned and preempted like the
+# sweep above.
+GOMAXPROCS=1 go test -run 'TestSimplify' ./internal/preimage/
+GOMAXPROCS=4 go test -race -run 'TestSimplify' ./internal/preimage/
+go test -run '^$' -bench 'Table|ParallelEnumerate|ReachIncremental|Simplify' -benchtime=1x -benchmem .
