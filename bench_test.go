@@ -143,7 +143,7 @@ func BenchmarkTable7(b *testing.B) {
 		for _, eng := range engines {
 			b.Run(fmt.Sprintf("%s/%s", nc.Name, eng), func(b *testing.B) {
 				b.ReportAllocs()
-				var peak, blocking uint64
+				var peak, blocking, learntBytes uint64
 				for i := 0; i < b.N; i++ {
 					r, err := preimage.Compute(nc.Circuit, target, cappedOpts(eng))
 					if err != nil {
@@ -151,9 +151,11 @@ func BenchmarkTable7(b *testing.B) {
 					}
 					peak = r.Stats.BlockingClauses + r.Stats.PeakLearnts
 					blocking = r.Stats.BlockingClauses
+					learntBytes = r.Stats.PeakLearntBytes
 				}
 				b.ReportMetric(float64(peak), "peak-clauses")
 				b.ReportMetric(float64(blocking), "blocking")
+				b.ReportMetric(float64(learntBytes)/1024, "learnt-kb")
 			})
 		}
 	}

@@ -57,6 +57,11 @@ type Run struct {
 	NumCPU     int         `json:"numcpu,omitempty"`
 	Host       string      `json:"host,omitempty"`
 	GoVersion  string      `json:"goversion,omitempty"`
+	// Note carries a caveat about the run's validity, set with -note —
+	// e.g. scripts/bench.sh annotates multi-worker benchmarks recorded on
+	// a single-core host, whose parallel numbers measure coordination
+	// overhead only.
+	Note string `json:"note,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
 	Raw        []string    `json:"raw"` // verbatim lines, benchstat input
 }
@@ -82,8 +87,15 @@ type Document struct {
 func main() {
 	label := flag.String("label", "", "label for this run (e.g. git commit)")
 	baseline := flag.String("baseline", "", "prior BENCH_*.json whose current run becomes this document's baseline")
+	note := flag.String("note", "", "caveat annotation recorded with the run (e.g. single-core host)")
 	out := flag.String("o", "", "output file (default stdout)")
+	printProcs := flag.Bool("print-gomaxprocs", false, "print the effective GOMAXPROCS (honouring the env var) and exit — used by scripts/bench.sh's single-core guard")
 	flag.Parse()
+
+	if *printProcs {
+		fmt.Println(runtime.GOMAXPROCS(0))
+		return
+	}
 
 	cur, err := parseRun(os.Stdin)
 	if err != nil {
@@ -91,6 +103,7 @@ func main() {
 		os.Exit(1)
 	}
 	cur.Label = *label
+	cur.Note = *note
 	cur.Date = time.Now().UTC().Format(time.RFC3339)
 	cur.GoMaxProcs = runtime.GOMAXPROCS(0)
 	cur.NumCPU = runtime.NumCPU()

@@ -67,7 +67,7 @@ func main() {
 		// states column is identical by construction; decisions and time
 		// show what the preprocessing buys. The BDD engine never sees the
 		// CNF, so its two rows only differ by noise.
-		tb := stats.NewTable("", "engine", "simplify", "states", "cubes", "decisions", "conflicts", "peak-clauses", "memo-hits", "bdd-nodes", "time")
+		tb := stats.NewTable("", "engine", "simplify", "states", "cubes", "decisions", "conflicts", "peak-clauses", "learnt-kb", "memo-hits", "bdd-nodes", "time")
 		for _, eng := range engines {
 			for _, smode := range []allsatpre.SimplifyMode{allsatpre.SimplifyOff, allsatpre.SimplifyOn} {
 				t := stats.StartTimer()
@@ -78,7 +78,9 @@ func main() {
 				}
 				tb.AddRow(eng.String(), smode.String(), r.Count.String(), r.States.Len(),
 					r.Stats.Decisions, r.Stats.Conflicts,
-					r.Stats.BlockingClauses+r.Stats.PeakLearnts, r.Stats.CacheHits,
+					r.Stats.BlockingClauses+r.Stats.PeakLearnts,
+					fmt.Sprintf("%.1f", float64(r.Stats.PeakLearntBytes)/1024),
+					r.Stats.CacheHits,
 					r.BDDNodes, t.Elapsed())
 			}
 		}

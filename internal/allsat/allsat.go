@@ -52,6 +52,17 @@ type Stats struct {
 	// database growth: the disjoint engine keeps BlockingClauses at zero
 	// by construction.
 	PeakLearnts uint64
+	// PeakLearntBytes is the high-water arena footprint of live learnt
+	// clauses in bytes (summed across workers). With the tiered learnt
+	// database, clause counts are incomparable across engines (core
+	// clauses are permanent, locals churn), so the byte watermark is the
+	// apples-to-apples memory measure alongside PeakLearnts.
+	PeakLearntBytes uint64
+	// ArenaBytes is the clause-arena footprint at capture time (summed
+	// across workers); LearntsCore/Tier2/Local are the live per-tier
+	// learnt counts at the same instant.
+	ArenaBytes                             uint64
+	LearntsCore, LearntsTier2, LearntsLocal uint64
 	// Decisions/Propagations/Conflicts come from the underlying search.
 	Decisions, Propagations, Conflicts uint64
 	// CacheLookups/CacheHits/CacheClears count success-driven memo

@@ -151,6 +151,11 @@ func enumerateParallel(f *cnf.Formula, space *cube.Space, opts Options, eng engi
 		res.Stats.BlockingLits += s.BlockingLits
 		res.Stats.LiftedFree += s.LiftedFree
 		res.Stats.PeakLearnts += s.PeakLearnts
+		res.Stats.PeakLearntBytes += s.PeakLearntBytes
+		res.Stats.ArenaBytes += s.ArenaBytes
+		res.Stats.LearntsCore += s.LearntsCore
+		res.Stats.LearntsTier2 += s.LearntsTier2
+		res.Stats.LearntsLocal += s.LearntsLocal
 		res.Stats.Decisions += s.Decisions
 		res.Stats.Propagations += s.Propagations
 		res.Stats.Conflicts += s.Conflicts
@@ -290,6 +295,11 @@ func (p *ParallelIterator) fold(s Stats) {
 	p.stats.BlockingLits += s.BlockingLits
 	p.stats.LiftedFree += s.LiftedFree
 	p.stats.PeakLearnts += s.PeakLearnts
+	p.stats.PeakLearntBytes += s.PeakLearntBytes
+	p.stats.ArenaBytes += s.ArenaBytes
+	p.stats.LearntsCore += s.LearntsCore
+	p.stats.LearntsTier2 += s.LearntsTier2
+	p.stats.LearntsLocal += s.LearntsLocal
 	p.stats.Decisions += s.Decisions
 	p.stats.Propagations += s.Propagations
 	p.stats.Conflicts += s.Conflicts

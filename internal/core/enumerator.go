@@ -156,6 +156,19 @@ type Enumerator struct {
 	learntBuf  []lit.Lit
 	cleanupBuf []lit.Var
 
+	// Chunked backing for learned clauses: clause structs and their
+	// literal slices are carved out of fixed-capacity blocks, so a learnt
+	// costs zero dedicated allocations once a chunk is open (the same
+	// pre-sizing idea New applies to the original clauses, extended to
+	// clauses whose count is unknown up front). Chunks are never grown in
+	// place — live *clause pointers into them must stay stable — a full
+	// chunk is simply replaced by a fresh one and kept alive by its
+	// clauses. learnedLits counts the literals of live learned clauses
+	// (the retained-learnt footprint incr sessions report).
+	litChunk    []lit.Lit
+	clauseChunk []clause
+	learnedLits int
+
 	residScan   int  // rotating scan pointer for residualSAT
 	aborted     bool // resource budget exhausted
 	abortReason budget.Reason
@@ -703,14 +716,16 @@ func (e *Enumerator) learnFrom(confl *clause) {
 	if !p.IsDef() {
 		return
 	}
-	learnt := make([]lit.Lit, 0, len(e.learntBuf)+1)
-	learnt = append(learnt, p.Not())
-	learnt = append(learnt, e.learntBuf...)
-	if e.opts.MaxLearnedLen > 0 && len(learnt) > e.opts.MaxLearnedLen {
+	n := len(e.learntBuf) + 1
+	if e.opts.MaxLearnedLen > 0 && n > e.opts.MaxLearnedLen {
 		return
 	}
-	cl := &clause{lits: learnt, learned: true}
+	cl := e.allocLearnt(n)
+	learnt := cl.lits
+	learnt[0] = p.Not()
+	copy(learnt[1:], e.learntBuf)
 	e.learned = append(e.learned, cl)
+	e.learnedLits += n
 	e.stats.BlockingClauses++ // reuse the counter as "learned clauses"
 	e.stats.BlockingLits += uint64(len(learnt))
 	if len(learnt) >= 2 {
@@ -725,6 +740,35 @@ func (e *Enumerator) learnFrom(confl *clause) {
 		learnt[1], learnt[best] = learnt[best], learnt[1]
 		e.attach(cl)
 	}
+}
+
+// Chunk capacities for the learned-clause backing arrays: big enough to
+// amortize allocation, small enough that a mostly-dead chunk pinned by
+// one long-lived clause wastes little.
+const (
+	learntLitChunk    = 1 << 12
+	learntClauseChunk = 256
+)
+
+// allocLearnt returns a learned clause with an n-literal backing slice,
+// both carved from the current chunks (full-capacity slice expression,
+// so later carves cannot alias it).
+func (e *Enumerator) allocLearnt(n int) *clause {
+	if cap(e.litChunk)-len(e.litChunk) < n {
+		c := learntLitChunk
+		if n > c {
+			c = n
+		}
+		e.litChunk = make([]lit.Lit, 0, c)
+	}
+	s := len(e.litChunk)
+	e.litChunk = e.litChunk[:s+n]
+	lits := e.litChunk[s : s+n : s+n]
+	if len(e.clauseChunk) == cap(e.clauseChunk) {
+		e.clauseChunk = make([]clause, 0, learntClauseChunk)
+	}
+	e.clauseChunk = append(e.clauseChunk, clause{lits: lits, learned: true})
+	return &e.clauseChunk[len(e.clauseChunk)-1]
 }
 
 // trailPos returns the trail index of a currently assigned variable.

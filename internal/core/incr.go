@@ -59,6 +59,11 @@ func (e *Enumerator) MemoSize() int { return len(e.memo) }
 // LearnedCount reports the current learned-clause count.
 func (e *Enumerator) LearnedCount() int { return len(e.learned) }
 
+// LearnedLits reports the total literal count of the live learned
+// clauses — the retained-learnt footprint a persistent session carries
+// across retargetings (clause counts alone hide clause length).
+func (e *Enumerator) LearnedLits() int { return e.learnedLits }
+
 // NewVar allocates a fresh variable (for activation literals and
 // per-step selectors). The variable is not a projection variable and
 // does not enter the BDD manager's order.
@@ -254,6 +259,7 @@ func (e *Enumerator) RetireGroup(unit lit.Lit, vars []lit.Var) RetireStats {
 		}
 		if drop {
 			cl.dead = true
+			e.learnedLits -= len(cl.lits)
 			out.LearnedDropped++
 		} else {
 			kept = append(kept, cl)

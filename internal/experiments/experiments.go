@@ -11,6 +11,7 @@
 package experiments
 
 import (
+	"fmt"
 	"math/big"
 	"time"
 
@@ -43,6 +44,11 @@ type Row struct {
 	// PeakClauses is the engine's clause-database memory proxy: blocking
 	// clauses added plus the learnt-clause high-water mark (Table 7).
 	PeakClauses uint64
+	// PeakLearntKB is the learnt clauses' arena high-water mark in KiB.
+	// Counts stopped being comparable once the learnt DB became tiered
+	// (core clauses are permanent, locals churn), so Table 7 reports the
+	// byte watermark next to the count.
+	PeakLearntKB float64
 	// Blocking is the number of blocking clauses alone — zero for the
 	// disjoint and success-driven engines by construction.
 	Blocking uint64
@@ -204,8 +210,9 @@ func run(c *circuit.Circuit, target *cube.Cover, opts preimage.Options) Row {
 		Aborted:   r.Aborted,
 		Reason:    r.AbortReason,
 
-		PeakClauses: r.Stats.BlockingClauses + r.Stats.PeakLearnts,
-		Blocking:    r.Stats.BlockingClauses,
+		PeakClauses:  r.Stats.BlockingClauses + r.Stats.PeakLearnts,
+		PeakLearntKB: float64(r.Stats.PeakLearntBytes) / 1024,
+		Blocking:     r.Stats.BlockingClauses,
 
 		SimplifyVars: r.Stats.Simplify.VarsEliminated,
 	}
@@ -487,14 +494,16 @@ func Table6() (*stats.Table, []Row) {
 
 // Table7 is the clause-database growth shootout: for each SAT engine,
 // peak added clauses (blocking clauses plus the learnt-clause high-water
-// mark) alongside time. Blocking/lifting grow one clause per cube — the
-// blowup the disjoint engine exists to avoid — so the column is the
-// memory story behind the Table 1 timings: the disjoint engine's
-// blocking column is structurally zero and its peak is conflict-driven
-// only.
+// mark) and the learnt arena's byte watermark alongside time.
+// Blocking/lifting grow one clause per cube — the blowup the disjoint
+// engine exists to avoid — so the columns are the memory story behind
+// the Table 1 timings: the disjoint engine's blocking column is
+// structurally zero and its peak is conflict-driven only. The KiB column
+// is the tier-proof measure: learnt counts stopped being comparable
+// across engines once the DB became tiered.
 func Table7() (*stats.Table, []Row) {
 	tb := stats.NewTable("Table 7 — clause-database growth: peak added clauses per engine",
-		"circuit", "engine", "states", "cubes", "peak-clauses", "blocking", "time")
+		"circuit", "engine", "states", "cubes", "peak-clauses", "learnt-kb", "blocking", "time")
 	var rows []Row
 	for _, nc := range gen.Suite() {
 		target := targetFor(nc.Circuit)
@@ -505,7 +514,8 @@ func Table7() (*stats.Table, []Row) {
 			row := run(nc.Circuit, target, preimage.Options{Engine: eng})
 			rows = append(rows, row)
 			tb.AddRow(row.Circuit, row.Engine.String(), truncMark(row.Count.String(), row),
-				row.Cubes, row.PeakClauses, row.Blocking, row.Time)
+				row.Cubes, row.PeakClauses, fmt.Sprintf("%.1f", row.PeakLearntKB),
+				row.Blocking, row.Time)
 		}
 	}
 	return tb, rows

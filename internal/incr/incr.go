@@ -274,6 +274,7 @@ func (s *Session) publish(r *StepResult) {
 	reg.Counter("incr.memo-invalidated").Add(uint64(r.Retire.MemoInvalidated))
 	reg.SetGauge("incr.learned-kept", int64(r.Retire.LearnedKept))
 	reg.SetGauge("incr.learned-live", int64(s.ps.LearnedCount()))
+	reg.SetGauge("incr.learned-live-lits", int64(s.ps.LearnedLits()))
 	reg.SetGauge("incr.memo-size", int64(s.ps.MemoSize()))
 	if s.steps > 1 {
 		// Every step after the first reuses the one-time encoding the

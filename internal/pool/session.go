@@ -193,6 +193,16 @@ func (s *Session) LearnedCount() int {
 	return n
 }
 
+// LearnedLits sums the live learned clauses' literal counts across
+// workers — the session's retained-learnt footprint.
+func (s *Session) LearnedLits() int {
+	n := 0
+	for _, e := range s.es {
+		n += e.LearnedLits()
+	}
+	return n
+}
+
 // MemoSize sums the memo entries across workers.
 func (s *Session) MemoSize() int {
 	n := 0

@@ -372,6 +372,18 @@ func recordStats(reg *stats.Registry, r *Result, elapsed time.Duration) {
 	reg.Counter("cache-hits").Add(r.Stats.CacheHits)
 	reg.Counter("cache-clears").Add(r.Stats.CacheClears)
 	reg.MaxGauge("bdd-nodes", int64(r.BDDNodes))
+	if r.Stats.ArenaBytes > 0 || r.Stats.PeakLearnts > 0 {
+		// Clause-arena residency of the CDCL solvers (summed across
+		// parallel workers at capture time). The per-tier gauges snapshot
+		// the tiered learnt DB: core is permanent, tier2 demotes on
+		// disuse, local churns under reduction.
+		reg.MaxGauge("sat.arena-bytes", int64(r.Stats.ArenaBytes))
+		reg.MaxGauge("sat.peak-learnts", int64(r.Stats.PeakLearnts))
+		reg.MaxGauge("sat.peak-learnt-bytes", int64(r.Stats.PeakLearntBytes))
+		reg.SetGauge("sat.learnts-core", int64(r.Stats.LearntsCore))
+		reg.SetGauge("sat.learnts-tier2", int64(r.Stats.LearntsTier2))
+		reg.SetGauge("sat.learnts-local", int64(r.Stats.LearntsLocal))
+	}
 	if k := r.Stats.Kernel; k.UniqueLookups > 0 || k.CacheLookups > 0 {
 		reg.Counter("kernel-unique-lookups").Add(k.UniqueLookups)
 		reg.Counter("kernel-unique-probes").Add(k.UniqueProbes)

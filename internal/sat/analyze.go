@@ -4,24 +4,62 @@ import (
 	"allsatpre/internal/lit"
 )
 
+// fixBinaryReason restores the reason invariant for binary clauses: long
+// clauses always lead with their propagated literal (propagate swaps it
+// into position 0), but binary propagation fires straight off the watch
+// list without touching clause memory, so a binary reason may still store
+// its literals in attach order. Analysis walks reasons as lits[1:], so
+// swap the propagated literal to the front on first dereference.
+func (s *Solver) fixBinaryReason(c cref, p lit.Lit) {
+	ls := s.ca.lits(c)
+	if len(ls) == 2 && lit.Lit(ls[0]).Var() != p.Var() {
+		ls[0], ls[1] = ls[1], ls[0]
+	}
+}
+
+// useLearnt records that a learnt clause participated in conflict
+// analysis: bump its activity, set the recently-used protection bit, and
+// recompute its LBD from current levels — if the clause has become
+// "gluier" it is promoted to the better tier (Glucose's dynamic LBD
+// update), which is how a lucky local clause earns permanence.
+func (s *Solver) useLearnt(c cref) {
+	s.claBump(c)
+	s.ca.setUsed(c)
+	d := s.computeLBDWords(s.ca.lits(c))
+	if d < s.ca.lbd(c) {
+		s.ca.setLBD(c, d)
+		t := tierFor(s.ca.size(c), d)
+		if cur := s.ca.tier(c); t < cur {
+			s.ca.setTier(c, t)
+			s.bumpTier(cur, -1)
+			s.bumpTier(t, 1)
+			s.stats.Promoted++
+		}
+	}
+}
+
 // analyze performs first-UIP conflict analysis starting from the
 // conflicting clause, returning the learnt clause (asserting literal first)
-// and the backtrack level. It also computes the clause's LBD.
-func (s *Solver) analyze(confl *clause) (learnt []lit.Lit, btLevel, lbd int) {
-	learnt = append(learnt, lit.UndefLit) // room for the asserting literal
+// and the backtrack level. It also computes the clause's LBD. The returned
+// slice is a reused scratch buffer, valid until the next analyze call —
+// installLearnt copies it into the arena, so nothing long-lived aliases it.
+func (s *Solver) analyze(confl cref) (learnt []lit.Lit, btLevel, lbd int) {
+	learnt = append(s.learntBuf[:0], lit.UndefLit) // room for the asserting literal
 	pathC := 0
 	var p lit.Lit = lit.UndefLit
 	idx := len(s.trail) - 1
 
 	for {
-		if confl.learnt {
-			s.claBump(confl)
+		if s.ca.isLearnt(confl) {
+			s.useLearnt(confl)
 		}
+		ls := s.ca.lits(confl)
 		start := 0
 		if p.IsDef() {
 			start = 1 // skip the asserting literal of the reason
 		}
-		for _, q := range confl.lits[start:] {
+		for _, w := range ls[start:] {
+			q := lit.Lit(w)
 			v := q.Var()
 			if s.seen[v] != 0 || s.level[v] == 0 {
 				continue
@@ -46,9 +84,10 @@ func (s *Solver) analyze(confl *clause) (learnt []lit.Lit, btLevel, lbd int) {
 			break
 		}
 		confl = s.reason[p.Var()]
-		if confl == nil {
+		if confl == crefUndef {
 			panic("sat: analyze reached a decision before the UIP")
 		}
+		s.fixBinaryReason(confl, p)
 	}
 	learnt[0] = p.Not()
 
@@ -61,7 +100,7 @@ func (s *Solver) analyze(confl *clause) (learnt []lit.Lit, btLevel, lbd int) {
 	j := 1
 	for i := 1; i < len(learnt); i++ {
 		q := learnt[i]
-		if s.reason[q.Var()] == nil || !s.litRedundant(q, abstractLevels) {
+		if s.reason[q.Var()] == crefUndef || !s.litRedundant(q, abstractLevels) {
 			learnt[j] = q
 			j++
 		} else {
@@ -87,6 +126,7 @@ func (s *Solver) analyze(confl *clause) (learnt []lit.Lit, btLevel, lbd int) {
 		btLevel = s.level[learnt[1].Var()]
 	}
 
+	s.learntBuf = learnt
 	return learnt, btLevel, s.computeLBD(learnt)
 }
 
@@ -120,6 +160,29 @@ func (s *Solver) computeLBD(lits []lit.Lit) (lbd int) {
 	return lbd
 }
 
+// computeLBDWords is computeLBD over a clause's raw arena words, used for
+// the LBD recomputation on use without materializing a []lit.Lit.
+func (s *Solver) computeLBDWords(words []uint32) (lbd int) {
+	s.lbdGen++
+	if s.lbdGen == 0 {
+		for i := range s.lbdStamp {
+			s.lbdStamp[i] = 0
+		}
+		s.lbdGen = 1
+	}
+	for _, w := range words {
+		lvl := s.level[lit.Lit(w).Var()]
+		if lvl >= len(s.lbdStamp) {
+			s.lbdStamp = append(s.lbdStamp, make([]uint32, lvl+1-len(s.lbdStamp))...)
+		}
+		if s.lbdStamp[lvl] != s.lbdGen {
+			s.lbdStamp[lvl] = s.lbdGen
+			lbd++
+		}
+	}
+	return lbd
+}
+
 func (s *Solver) abstractLevel(v lit.Var) uint32 {
 	return 1 << uint(s.level[v]&31)
 }
@@ -135,12 +198,14 @@ func (s *Solver) litRedundant(q lit.Lit, abstractLevels uint32) bool {
 		p := s.analyzeStack[len(s.analyzeStack)-1]
 		s.analyzeStack = s.analyzeStack[:len(s.analyzeStack)-1]
 		c := s.reason[p.Var()]
-		for _, l := range c.lits[1:] {
+		s.fixBinaryReason(c, p)
+		for _, w := range s.ca.lits(c)[1:] {
+			l := lit.Lit(w)
 			v := l.Var()
 			if s.seen[v] != 0 || s.level[v] == 0 {
 				continue
 			}
-			if s.reason[v] == nil || s.abstractLevel(v)&abstractLevels == 0 {
+			if s.reason[v] == crefUndef || s.abstractLevel(v)&abstractLevels == 0 {
 				// Cannot be resolved away: q is not redundant. Undo marks.
 				for _, x := range s.analyzeToClr[top:] {
 					s.seen[x.Var()] = 0
@@ -170,12 +235,14 @@ func (s *Solver) analyzeFinal(p lit.Lit) {
 		if s.seen[v] == 0 {
 			continue
 		}
-		if s.reason[v] == nil {
+		if r := s.reason[v]; r == crefUndef {
 			if s.level[v] > 0 {
 				s.conflictOut = append(s.conflictOut, s.trail[i].Not())
 			}
 		} else {
-			for _, l := range s.reason[v].lits[1:] {
+			s.fixBinaryReason(r, s.trail[i])
+			for _, w := range s.ca.lits(r)[1:] {
+				l := lit.Lit(w)
 				if s.level[l.Var()] > 0 {
 					s.seen[l.Var()] = 1
 				}

@@ -49,7 +49,12 @@ type ChronoEnum struct {
 	// satBy[ci] is the trail index of the first (hence lowest-level)
 	// satisfying literal of clause ci, -1 while none; satHead is the trail
 	// prefix already folded in; unsatCnt counts clauses with satBy < 0.
-	clauses  []*clause
+	//
+	// clauses SHARES the solver's problem-clause slice: the occurrence
+	// lists hold positions into it, and arena compaction (reachable from
+	// learnFrom's reduceDB) rewrites the crefs in place position-preserving
+	// precisely so these indexes survive.
+	clauses  []cref
 	occ      [][]int32 // literal -> clause indexes
 	satBy    []int32
 	satHead  int
@@ -89,13 +94,13 @@ func NewChronoEnum(s *Solver, proj []lit.Var) *ChronoEnum {
 	for _, v := range proj {
 		e.isProj[v] = true
 	}
-	e.clauses = append([]*clause(nil), s.clauses...)
+	e.clauses = s.clauses
 	e.occ = make([][]int32, 2*s.NumVars())
 	e.satBy = make([]int32, len(e.clauses))
 	for ci, c := range e.clauses {
 		e.satBy[ci] = -1
-		for _, l := range c.lits {
-			e.occ[l] = append(e.occ[l], int32(ci))
+		for _, w := range s.ca.lits(c) {
+			e.occ[w] = append(e.occ[w], int32(ci))
 		}
 	}
 	e.unsatCnt = len(e.clauses)
@@ -125,7 +130,7 @@ func (e *ChronoEnum) Next() Status {
 	}
 	for {
 		confl := s.propagate()
-		if confl != nil {
+		if confl != crefUndef {
 			s.stats.Conflicts++
 			if s.decisionLevel() == 0 {
 				s.okay = false
@@ -166,7 +171,7 @@ func (e *ChronoEnum) Next() Status {
 		s.newDecisionLevel()
 		e.flipped = append(e.flipped, false)
 		s.stats.Decisions++
-		s.uncheckedEnqueue(next, nil)
+		s.uncheckedEnqueue(next, crefUndef)
 	}
 }
 
@@ -256,7 +261,7 @@ func (e *ChronoEnum) advance() bool {
 	e.cancelToLevel(d - 1)
 	s.newDecisionLevel()
 	e.flipped = append(e.flipped, true)
-	s.uncheckedEnqueue(dec.Not(), nil)
+	s.uncheckedEnqueue(dec.Not(), crefUndef)
 	return true
 }
 
@@ -314,8 +319,14 @@ func (e *ChronoEnum) emit() {
 // never used as an enqueue reason here, so chronological flipping keeps
 // full control of the trail. The clause is implied by the formula alone —
 // flipped decisions resolve like ordinary decisions — so it can never
-// exclude an unenumerated model.
-func (e *ChronoEnum) learnFrom(confl *clause) {
+// exclude an unenumerated model; deleting one is therefore sound, and the
+// attach-only learnts go through the same tiered database as CDCL
+// learnts. The tier rules give them exactly the protection they need: a
+// clause that prunes a descent participates in the conflict analysis,
+// which sets its used bit (and may promote it), and reduceDB never
+// deletes a used clause — so a learnt cannot be dropped in the same
+// round it pruned a subtree (pinned by TestChronoAttachOnlySurvival).
+func (e *ChronoEnum) learnFrom(confl cref) {
 	s := e.s
 	learnt, _, lbd := s.analyze(confl)
 	s.varDecay()
@@ -325,16 +336,10 @@ func (e *ChronoEnum) learnFrom(confl *clause) {
 		// installing them mid-tree would need out-of-order enqueueing.
 		return
 	}
-	cl := &clause{lits: learnt, learnt: true, lbd: lbd}
-	s.learnts = append(s.learnts, cl)
-	s.attach(cl)
-	s.claBump(cl)
+	s.installLearnt(learnt, lbd)
 	s.stats.Learned++
 	s.stats.LearnedLits += uint64(len(learnt))
-	if len(s.learnts) > s.stats.PeakLearnts {
-		s.stats.PeakLearnts = len(s.learnts)
-	}
-	if float64(len(s.learnts)) >= s.maxLearnts+float64(len(s.trail)) {
+	if s.reduceNeeded() {
 		s.reduceDB()
 	}
 }

@@ -219,3 +219,118 @@ func TestConflictCapStreakBound(t *testing.T) {
 		}
 	}
 }
+
+// TestChronoAttachOnlySurvival pins the retention rule chrono's
+// attach-only learnts rely on: a learnt that pruned a visited subtree —
+// i.e. participated in a conflict since the last reduction round, which
+// sets its used bit — must never be deleted by the reduceDB cycle that
+// follows, no matter how bad its activity or tier. Deleting it would be
+// sound (the clause is implied by F) but would let the enumeration
+// re-descend into a subtree it already refuted.
+func TestChronoAttachOnlySurvival(t *testing.T) {
+	s := NewDefault()
+	nVars := 24
+	s.EnsureVars(nVars)
+	// The protected clause: installed exactly the way ChronoEnum.learnFrom
+	// installs an attach-only learnt, with a worst-possible profile — local
+	// tier (huge LBD), zero activity — then marked used, as conflict
+	// analysis does when the clause prunes a descent.
+	protected := make([]lit.Lit, 0, 8)
+	for i := 0; i < 8; i++ {
+		protected = append(protected, lit.New(lit.Var(i), i%2 == 0))
+	}
+	pc := s.installLearnt(protected, tier2LBD+10)
+	if s.ca.tier(pc) != tierLocal {
+		t.Fatalf("protected clause landed in tier %d, want local", s.ca.tier(pc))
+	}
+	s.ca.setActivity(pc, 0)
+	s.ca.setUsed(pc) // "pruned a visited subtree this round"
+
+	// Junk local learnts with higher activity, unused: reduceDB's sorted
+	// deletion would pick the zero-activity protected clause first if the
+	// used bit did not shield it.
+	for j := 0; j < 40; j++ {
+		c := make([]lit.Lit, 0, 6)
+		for i := 0; i < 6; i++ {
+			c = append(c, lit.New(lit.Var(8+(j+i)%(nVars-8)), (j+i)%2 == 0))
+		}
+		jc := s.installLearnt(c, tier2LBD+10)
+		s.ca.clearUsed(jc)
+		s.ca.setActivity(jc, float64(j+1))
+	}
+
+	before := s.nLocal
+	s.reduceDB()
+	if s.ca.isDeleted(pc) {
+		t.Fatal("reduceDB deleted a used attach-only learnt")
+	}
+	found := false
+	for _, c := range s.learnts {
+		if c == pc {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("used attach-only learnt fell out of the learnt list")
+	}
+	if s.stats.Reduced == 0 || s.nLocal >= before {
+		t.Fatalf("reduction was a no-op (reduced=%d, local %d -> %d): the shield was never tested",
+			s.stats.Reduced, before, s.nLocal)
+	}
+	// The shield is one-round: reduceDB cleared the used bit, so a clause
+	// that stops being useful becomes deletable again (no leak).
+	if s.ca.isUsed(pc) {
+		t.Fatal("reduceDB left the used bit set; protection would be permanent")
+	}
+	checkArenaInvariants(t, s)
+}
+
+// TestChronoReduceDBMidEnumerationExact forces reduceDB after every
+// learnt install (maxLearnts driven below zero) and checks the cover is
+// still the exact brute-force projection: clause deletion plus arena
+// compaction mid-enumeration must not perturb disjointness or
+// completeness.
+func TestChronoReduceDBMidEnumerationExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		nVars := 6 + rng.Intn(6)
+		f := randomCNF(rng, nVars, 3*nVars, 3)
+		nProj := 1 + rng.Intn(nVars)
+		proj := make([]lit.Var, nProj)
+		perm := rng.Perm(nVars)
+		for i := range proj {
+			proj[i] = lit.Var(perm[i])
+		}
+		want := f.ProjectedModels(proj)
+
+		s := FromFormula(f, Options{})
+		e := NewChronoEnum(s, proj)
+		s.maxLearnts = -1e18 // reduceNeeded() is now always true
+		got := make(map[string]bool)
+		for {
+			st := e.Next()
+			if st == Unknown {
+				t.Fatalf("trial %d: unexpected budget stop", trial)
+			}
+			if st == Unsat {
+				break
+			}
+			for _, m := range expandCube(proj, e.Cube()) {
+				if got[m] {
+					t.Fatalf("trial %d: minterm %s covered twice under forced reduceDB", trial, m)
+				}
+				got[m] = true
+			}
+			checkArenaInvariants(t, s)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d minterms, brute force says %d", trial, len(got), len(want))
+		}
+		for m := range want {
+			if !got[m] {
+				t.Fatalf("trial %d: minterm %s missing under forced reduceDB", trial, m)
+			}
+		}
+	}
+}

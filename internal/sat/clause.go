@@ -1,30 +1,26 @@
 package sat
 
-import (
-	"allsatpre/internal/lit"
-)
-
-// clause is the solver-internal clause representation. The first two
-// literals are the watched literals.
-type clause struct {
-	lits     []lit.Lit
-	activity float64
-	lbd      int  // literal block distance at learn time (learnt clauses)
-	learnt   bool // true for conflict-learned clauses
-	deleted  bool // lazily removed from watch lists
+// watcher pairs a clause reference with a blocker literal: if the
+// blocker is already true the clause is satisfied and need not be
+// inspected at all. Both fields are 32-bit, so a watch list packs eight
+// watchers per cache line (the pointer-based watcher was 24 bytes).
+type watcher struct {
+	c       uint32 // cref of the watched clause
+	blocker uint32 // lit.Lit, the other watched literal at attach time
 }
 
-func (c *clause) len() int { return len(c.lits) }
-
-// watcher pairs a clause with a blocker literal: if the blocker is already
-// true the clause is satisfied and need not be inspected at all.
-type watcher struct {
-	cl      *clause
-	blocker lit.Lit
+// binWatcher is the dedicated binary-clause watch entry: when the
+// watched literal falsifies, `other` is implied — propagation touches no
+// clause memory at all. The cref is carried only for conflict analysis
+// (reason/conflict reporting) and proof deletion.
+type binWatcher struct {
+	other uint32 // lit.Lit implied when the watch fires
+	c     uint32 // cref of the binary clause
 }
 
 // Stats collects solver counters. All fields are cumulative across Solve
-// calls.
+// calls except the Arena*/Learnts* gauges, which snapshot the clause
+// store at the moment Stats() is called.
 type Stats struct {
 	Decisions    uint64
 	Propagations uint64
@@ -34,8 +30,22 @@ type Stats struct {
 	LearnedLits  uint64
 	MinimizedOut uint64 // literals removed by clause minimization
 	Reduced      uint64 // learnt clauses deleted by DB reduction
+	Demoted      uint64 // tier2 learnts demoted to local for disuse
+	Promoted     uint64 // learnts promoted to a better tier on LBD improvement
+	ArenaGCs     uint64 // arena compactions
 	MaxTrail     int
-	PeakLearnts  int // high-water learnt clause count (DB memory proxy)
+	PeakLearnts  int // high-water learnt clause count (all tiers)
+	// PeakLearntBytes is the high-water arena footprint of live learnt
+	// clauses (headers + literals), the tier-proof memory measure: tier
+	// counts are incomparable across engines, bytes are not.
+	PeakLearntBytes uint64
+	// ArenaBytes is the current clause-arena footprint (problem + learnt
+	// + not-yet-collected garbage), snapshotted by Stats().
+	ArenaBytes uint64
+	// Live learnt counts per tier, snapshotted by Stats(). Core clauses
+	// (LBD ≤ 2 and all binaries) are kept forever; tier2 (LBD ≤ 6) are
+	// demoted when unused for a reduce round; local face deletion.
+	LearntsCore, LearntsTier2, LearntsLocal int
 }
 
 // luby computes the i-th element (1-based) of the Luby restart sequence.

@@ -1,7 +1,7 @@
 package sat
 
 import (
-	"sort"
+	"slices"
 
 	"allsatpre/internal/budget"
 	"allsatpre/internal/lit"
@@ -96,7 +96,7 @@ func (s *Solver) search(nConflicts, conflictsAtStart uint64) Status {
 	var conflictsHere uint64
 	for {
 		confl := s.propagate()
-		if confl != nil {
+		if confl != crefUndef {
 			s.stats.Conflicts++
 			conflictsHere++
 			if s.decisionLevel() == 0 {
@@ -120,16 +120,10 @@ func (s *Solver) search(nConflicts, conflictsAtStart uint64) Status {
 			}
 			s.cancelUntil(btLevel)
 			if len(learnt) == 1 {
-				s.uncheckedEnqueue(learnt[0], nil)
+				s.uncheckedEnqueue(learnt[0], crefUndef)
 			} else {
-				cl := &clause{lits: learnt, learnt: true, lbd: lbd}
-				s.learnts = append(s.learnts, cl)
-				if len(s.learnts) > s.stats.PeakLearnts {
-					s.stats.PeakLearnts = len(s.learnts)
-				}
-				s.attach(cl)
-				s.claBump(cl)
-				s.uncheckedEnqueue(learnt[0], cl)
+				c := s.installLearnt(learnt, lbd)
+				s.uncheckedEnqueue(learnt[0], c)
 			}
 			s.stats.Learned++
 			s.stats.LearnedLits += uint64(len(learnt))
@@ -146,7 +140,7 @@ func (s *Solver) search(nConflicts, conflictsAtStart uint64) Status {
 			s.cancelUntil(s.baseLevel())
 			return Unknown // restart
 		}
-		if float64(len(s.learnts)) >= s.maxLearnts+float64(len(s.trail)) {
+		if s.reduceNeeded() {
 			s.reduceDB()
 		}
 
@@ -175,7 +169,7 @@ func (s *Solver) search(nConflicts, conflictsAtStart uint64) Status {
 			s.stats.Decisions++
 		}
 		s.newDecisionLevel()
-		s.uncheckedEnqueue(next, nil)
+		s.uncheckedEnqueue(next, crefUndef)
 	}
 }
 
@@ -188,41 +182,120 @@ func (s *Solver) baseLevel() int {
 	return s.decisionLevel()
 }
 
-// reduceDB removes roughly half of the learnt clauses, preferring low
-// activity and high LBD; binary clauses, LBD≤2 clauses, and clauses that
-// are the reason for a current assignment are kept.
-func (s *Solver) reduceDB() {
-	ls := s.learnts
-	sort.Slice(ls, func(i, j int) bool {
-		a, b := ls[i], ls[j]
-		if (a.lbd <= 2) != (b.lbd <= 2) {
-			return b.lbd <= 2 // glue clauses last (kept)
-		}
-		return a.activity < b.activity
-	})
-	locked := func(c *clause) bool {
-		v := c.lits[0].Var()
-		return s.assign[v] != lit.Unknown && s.reason[v] == c
+// reduceNeeded gates DB reduction on the reducible population: core-tier
+// clauses are permanent, so only tier2+local count against the cap.
+func (s *Solver) reduceNeeded() bool {
+	return float64(s.nTier2+s.nLocal) >= s.maxLearnts+float64(len(s.trail))
+}
+
+// locked reports whether clause c is the antecedent of a current
+// assignment. Reason clauses lead with their propagated literal (an
+// invariant propagate maintains for all clauses long enough to be
+// reducible), so one variable lookup decides it.
+func (s *Solver) locked(c cref) bool {
+	v := s.ca.lit(c, 0).Var()
+	return s.assign[v] != lit.Unknown && s.reason[v] == c
+}
+
+// removeLearnt tombstones a learnt clause: proof deletion, tier and
+// footprint bookkeeping, arena waste accounting. Watch lists drop the
+// tombstone lazily; garbage collection reclaims the words.
+func (s *Solver) removeLearnt(c cref) {
+	if s.proof != nil {
+		s.tmpLits = s.ca.litsBuf(c, s.tmpLits)
+		s.proof.deleteClause(s.tmpLits)
 	}
-	limit := len(ls) / 2
-	kept := ls[:0]
-	for i, c := range ls {
-		if i < limit && c.len() > 2 && c.lbd > 2 && !locked(c) {
-			c.deleted = true
-			s.stats.Reduced++
-			if s.proof != nil {
-				s.proof.deleteClause(c.lits)
+	s.bumpTier(s.ca.tier(c), -1)
+	s.learntWords -= uint64(s.ca.words(c))
+	s.ca.setDeleted(c)
+	s.stats.Reduced++
+}
+
+// reduceDB manages the tiered learnt database, Glucose-style:
+//
+//   - core (LBD ≤ 2, and every binary) is never touched;
+//   - tier2 clauses that were used since the previous round keep their
+//     protection cleared for the next one; unused tier2 clauses are
+//     demoted to local;
+//   - the local tier is sorted by activity and its less active half
+//     deleted, skipping clauses that are locked (reason of a current
+//     assignment) or recently used.
+//
+// The sort key is (activity, cref) — a total order, so reduction is
+// deterministic and the worker-count equivalence suite stays bit-exact.
+// Compaction runs afterwards when the tombstoned words pass the arena's
+// waste threshold.
+func (s *Solver) reduceDB() {
+	local := s.reduceBuf[:0]
+	for _, c := range s.learnts {
+		if s.ca.isDeleted(c) {
+			continue
+		}
+		switch s.ca.tier(c) {
+		case tierTwo:
+			if s.ca.isUsed(c) {
+				s.ca.clearUsed(c)
+			} else {
+				s.ca.setTier(c, tierLocal)
+				s.nTier2--
+				s.nLocal++
+				s.stats.Demoted++
+				local = append(local, c)
 			}
+		case tierLocal:
+			local = append(local, c)
+		}
+	}
+	slices.SortFunc(local, func(a, b cref) int {
+		aa, ba := s.ca.activity(a), s.ca.activity(b)
+		switch {
+		case aa < ba:
+			return -1
+		case aa > ba:
+			return 1
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		}
+		return 0
+	})
+	s.reduceBuf = local
+
+	limit := len(local) / 2
+	removed := 0
+	for _, c := range local {
+		if removed >= limit {
+			break
+		}
+		if s.ca.isUsed(c) {
+			s.ca.clearUsed(c)
+			continue
+		}
+		if s.locked(c) {
+			continue
+		}
+		s.removeLearnt(c)
+		removed++
+	}
+	kept := s.learnts[:0]
+	for _, c := range s.learnts {
+		if s.ca.isDeleted(c) {
 			continue
 		}
 		kept = append(kept, c)
 	}
 	s.learnts = kept
 	s.maxLearnts *= s.opts.LearntGrowth
+	if s.ca.gcNeeded() {
+		s.garbageCollect()
+	}
 }
 
 // Simplify removes problem and learnt clauses satisfied at level 0. Must be
-// called at decision level 0.
+// called at decision level 0. Binary watch lists are swept eagerly (they
+// have no lazy-drop path); long watch lists shed tombstones lazily or at
+// the compaction this may trigger.
 func (s *Solver) Simplify() bool {
 	if s.decisionLevel() != 0 {
 		panic("sat: Simplify above level 0")
@@ -230,32 +303,60 @@ func (s *Solver) Simplify() bool {
 	if !s.okay {
 		return false
 	}
-	if s.propagate() != nil {
+	if s.propagate() != crefUndef {
 		s.okay = false
 		return false
 	}
-	filter := func(cs []*clause) []*clause {
+	satisfied := func(c cref) bool {
+		for _, w := range s.ca.lits(c) {
+			l := lit.Lit(w)
+			if s.LitValue(l) == lit.True && s.level[l.Var()] == 0 {
+				return true
+			}
+		}
+		return false
+	}
+	anyDeleted := false
+	filter := func(cs []cref, learnt bool) []cref {
 		out := cs[:0]
 		for _, c := range cs {
-			sat := false
-			for _, l := range c.lits {
-				if s.LitValue(l) == lit.True && s.level[l.Var()] == 0 {
-					sat = true
-					break
-				}
+			if s.ca.isDeleted(c) {
+				continue
 			}
-			if sat {
-				c.deleted = true
-				if s.proof != nil {
-					s.proof.deleteClause(c.lits)
+			if satisfied(c) {
+				if learnt {
+					s.bumpTier(s.ca.tier(c), -1)
+					s.learntWords -= uint64(s.ca.words(c))
 				}
+				if s.proof != nil {
+					s.tmpLits = s.ca.litsBuf(c, s.tmpLits)
+					s.proof.deleteClause(s.tmpLits)
+				}
+				s.ca.setDeleted(c)
+				anyDeleted = true
 				continue
 			}
 			out = append(out, c)
 		}
 		return out
 	}
-	s.clauses = filter(s.clauses)
-	s.learnts = filter(s.learnts)
+	s.clauses = filter(s.clauses, false)
+	s.learnts = filter(s.learnts, true)
+	if anyDeleted {
+		for li := range s.binWatches {
+			ws := s.binWatches[li]
+			out := ws[:0]
+			for _, w := range ws {
+				if s.ca.isDeleted(cref(w.c)) {
+					continue
+				}
+				out = append(out, w)
+			}
+			s.binWatches[li] = out
+		}
+	}
+	if s.ca.gcNeeded() {
+		s.garbageCollect()
+	}
 	return true
 }

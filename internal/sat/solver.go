@@ -1,9 +1,15 @@
 // Package sat implements a conflict-driven clause-learning (CDCL) SAT
 // solver in the MiniSat lineage: two-watched-literal propagation, first-UIP
 // conflict analysis with recursive clause minimization, VSIDS decision
-// ordering with phase saving, Luby restarts, and activity-based learnt
-// clause database reduction. The solver is incremental: clauses may be
+// ordering with phase saving, Luby restarts, and a Glucose-style tiered
+// learnt clause database. The solver is incremental: clauses may be
 // added between Solve calls, and Solve accepts assumption literals.
+//
+// Clause storage is a flat arena (see arena.go): clauses are cref
+// offsets into one []uint32 backing store, watch lists carry
+// {cref, blocker} pairs, and binary clauses have dedicated watch lists
+// that propagate without touching clause memory at all. Deleted clauses
+// are compacted away by relocation-safe garbage collection.
 //
 // It is the workhorse beneath the all-solutions enumeration engines in
 // internal/allsat and the blocking-clause preimage baseline.
@@ -101,14 +107,16 @@ func DefaultOptions() Options {
 type Solver struct {
 	opts Options
 
-	clauses []*clause // problem clauses
-	learnts []*clause
+	ca      arena  // flat clause store; all crefs index into it
+	clauses []cref // problem clauses
+	learnts []cref // learnt clauses, all tiers
 
-	watches [][]watcher // indexed by literal
+	watches    [][]watcher    // indexed by literal; clauses of length ≥ 3
+	binWatches [][]binWatcher // indexed by literal; binary clauses only
 
 	assign   []lit.Tern // by var
 	level    []int      // decision level of assignment, by var
-	reason   []*clause  // antecedent clause, by var (nil for decisions)
+	reason   []cref     // antecedent clause, by var (crefUndef for decisions)
 	polarity []bool     // saved phase: true = last value was false (sign)
 	activity []float64
 	seen     []byte // scratch for analyze
@@ -121,6 +129,11 @@ type Solver struct {
 	varInc float64
 	claInc float64
 
+	// Tier bookkeeping: live learnt counts per tier and the live learnt
+	// footprint in arena words (PeakLearntBytes watermark feeds from it).
+	nCore, nTier2, nLocal int
+	learntWords           uint64
+
 	okay        bool // false once a top-level conflict is found
 	rng         *rand.Rand
 	maxLearnts  float64
@@ -132,8 +145,11 @@ type Solver struct {
 	// analyze scratch
 	analyzeStack []lit.Lit
 	analyzeToClr []lit.Lit
-	lbdStamp     []uint32 // per-level stamps for computeLBD
-	lbdGen       uint32   // current computeLBD generation
+	learntBuf    []lit.Lit // analyze result buffer, reused across conflicts
+	lbdStamp     []uint32  // per-level stamps for computeLBD
+	lbdGen       uint32    // current computeLBD generation
+	tmpLits      []lit.Lit // scratch for proof emission from the arena
+	reduceBuf    []cref    // scratch for reduceDB's local-tier sort
 
 	check      *budget.Checker // live budget checker, nil when unbounded
 	stopReason budget.Reason   // why the last Solve returned Unknown
@@ -171,6 +187,11 @@ func FromFormula(f *cnf.Formula, opts Options) *Solver {
 	s := New(opts)
 	s.EnsureVars(f.NumVars)
 	s.clauses = slices.Grow(s.clauses, len(f.Clauses))
+	total := 0
+	for _, c := range f.Clauses {
+		total += len(c) + 1
+	}
+	s.ca.data = slices.Grow(s.ca.data, total)
 	for _, c := range f.Clauses {
 		s.AddClause(c...)
 	}
@@ -186,8 +207,16 @@ func (s *Solver) NumClauses() int { return len(s.clauses) }
 // NumLearnts returns the number of learnt clauses currently held.
 func (s *Solver) NumLearnts() int { return len(s.learnts) }
 
-// Stats returns a copy of the cumulative statistics.
-func (s *Solver) Stats() Stats { return s.stats }
+// Stats returns a copy of the cumulative statistics, with the arena and
+// tier gauges snapshotted at call time.
+func (s *Solver) Stats() Stats {
+	st := s.stats
+	st.ArenaBytes = uint64(len(s.ca.data)) * 4
+	st.LearntsCore = s.nCore
+	st.LearntsTier2 = s.nTier2
+	st.LearntsLocal = s.nLocal
+	return st
+}
 
 // SetBudget replaces the solver's resource budget. Relative timeouts are
 // materialized into an absolute deadline immediately, so the clock starts
@@ -211,11 +240,12 @@ func (s *Solver) NewVar() lit.Var {
 	v := lit.Var(len(s.assign))
 	s.assign = append(s.assign, lit.Unknown)
 	s.level = append(s.level, 0)
-	s.reason = append(s.reason, nil)
+	s.reason = append(s.reason, crefUndef)
 	s.polarity = append(s.polarity, true) // default phase: false
 	s.activity = append(s.activity, 0)
 	s.seen = append(s.seen, 0)
 	s.watches = append(s.watches, nil, nil)
+	s.binWatches = append(s.binWatches, nil, nil)
 	s.order.insert(v)
 	return v
 }
@@ -236,6 +266,7 @@ func (s *Solver) EnsureVars(n int) {
 	s.activity = slices.Grow(s.activity, extra)
 	s.seen = slices.Grow(s.seen, extra)
 	s.watches = slices.Grow(s.watches, 2*extra)
+	s.binWatches = slices.Grow(s.binWatches, 2*extra)
 	for len(s.assign) < n {
 		s.NewVar()
 	}
@@ -252,6 +283,12 @@ func (s *Solver) Value(v lit.Var) lit.Tern {
 // LitValue returns the current ternary value of literal l.
 func (s *Solver) LitValue(l lit.Lit) lit.Tern {
 	return s.Value(l.Var()).XorSign(l.Sign())
+}
+
+// litVal is the bounds-check-free hot-path variant of LitValue: l must
+// be a defined literal of an allocated variable.
+func (s *Solver) litVal(l lit.Lit) lit.Tern {
+	return s.assign[l.Var()].XorSign(l.Sign())
 }
 
 // Model returns the satisfying assignment found by the most recent Sat
@@ -302,7 +339,7 @@ func (s *Solver) AddClause(ls ...lit.Lit) bool {
 	}
 	// Normalize: sort-free dedup & tautology check, drop false lits,
 	// detect satisfied clauses.
-	c := make([]lit.Lit, 0, len(ls))
+	c := s.tmpLits[:0]
 	for _, l := range ls {
 		if !l.IsDef() {
 			panic("sat: undefined literal in clause")
@@ -312,6 +349,7 @@ func (s *Solver) AddClause(ls ...lit.Lit) bool {
 		}
 		switch s.LitValue(l) {
 		case lit.True:
+			s.tmpLits = c[:0]
 			return true // already satisfied at top level
 		case lit.False:
 			continue // literal permanently false: drop
@@ -323,6 +361,7 @@ func (s *Solver) AddClause(ls ...lit.Lit) bool {
 				break
 			}
 			if x == l.Not() {
+				s.tmpLits = c[:0]
 				return true // tautology
 			}
 		}
@@ -330,6 +369,7 @@ func (s *Solver) AddClause(ls ...lit.Lit) bool {
 			c = append(c, l)
 		}
 	}
+	s.tmpLits = c[:0]
 	switch len(c) {
 	case 0:
 		s.okay = false
@@ -338,8 +378,8 @@ func (s *Solver) AddClause(ls ...lit.Lit) bool {
 		}
 		return false
 	case 1:
-		s.uncheckedEnqueue(c[0], nil)
-		if s.propagate() != nil {
+		s.uncheckedEnqueue(c[0], crefUndef)
+		if s.propagate() != crefUndef {
 			s.okay = false
 			if s.proof != nil {
 				s.proof.addClause(nil)
@@ -348,9 +388,9 @@ func (s *Solver) AddClause(ls ...lit.Lit) bool {
 		}
 		return true
 	}
-	cl := &clause{lits: c}
-	s.clauses = append(s.clauses, cl)
-	s.attach(cl)
+	cr := s.ca.alloc(c, false)
+	s.clauses = append(s.clauses, cr)
+	s.attach(cr)
 	return true
 }
 
@@ -366,14 +406,24 @@ func (s *Solver) AddFormula(f *cnf.Formula) bool {
 	return true
 }
 
-func (s *Solver) attach(c *clause) {
-	w0, w1 := c.lits[0].Not(), c.lits[1].Not()
-	s.watches[w0] = append(s.watches[w0], watcher{cl: c, blocker: c.lits[1]})
-	s.watches[w1] = append(s.watches[w1], watcher{cl: c, blocker: c.lits[0]})
+// attach hooks a clause into the watch structure: binary clauses go to
+// the dedicated binary lists (each entry names the implied literal, so
+// firing them never reads clause memory), longer ones watch their first
+// two literals.
+func (s *Solver) attach(c cref) {
+	ls := s.ca.lits(c)
+	l0, l1 := lit.Lit(ls[0]), lit.Lit(ls[1])
+	if len(ls) == 2 {
+		s.binWatches[l0.Not()] = append(s.binWatches[l0.Not()], binWatcher{other: ls[1], c: uint32(c)})
+		s.binWatches[l1.Not()] = append(s.binWatches[l1.Not()], binWatcher{other: ls[0], c: uint32(c)})
+		return
+	}
+	s.watches[l0.Not()] = append(s.watches[l0.Not()], watcher{c: uint32(c), blocker: ls[1]})
+	s.watches[l1.Not()] = append(s.watches[l1.Not()], watcher{c: uint32(c), blocker: ls[0]})
 }
 
 // uncheckedEnqueue assigns literal l true with the given reason clause.
-func (s *Solver) uncheckedEnqueue(l lit.Lit, from *clause) {
+func (s *Solver) uncheckedEnqueue(l lit.Lit, from cref) {
 	v := l.Var()
 	s.assign[v] = lit.TernOf(!l.Sign())
 	s.level[v] = s.decisionLevel()
@@ -385,54 +435,74 @@ func (s *Solver) uncheckedEnqueue(l lit.Lit, from *clause) {
 }
 
 // propagate performs unit propagation over the watch lists, returning the
-// conflicting clause or nil.
-func (s *Solver) propagate() *clause {
+// conflicting clause or crefUndef. Binary clauses propagate first and
+// without dereferencing the arena; long clauses use blocker literals and
+// in-place watch migration.
+func (s *Solver) propagate() cref {
 	for s.qhead < len(s.trail) {
 		p := s.trail[s.qhead] // p is now true; clauses watching ¬p must be checked
 		s.qhead++
+
+		// Binary pass: every entry implies `other` outright. The lists
+		// are never mutated by propagation, so a conflict returns
+		// directly.
+		for _, bw := range s.binWatches[p] {
+			other := lit.Lit(bw.other)
+			switch s.litVal(other) {
+			case lit.True:
+			case lit.False:
+				s.qhead = len(s.trail)
+				return cref(bw.c)
+			default:
+				s.stats.Propagations++
+				s.uncheckedEnqueue(other, cref(bw.c))
+			}
+		}
+
 		ws := s.watches[p]
 		out := ws[:0]
-		var confl *clause
+		confl := crefUndef
+		falseLit := uint32(p.Not())
 	watchLoop:
 		for i := 0; i < len(ws); i++ {
 			w := ws[i]
-			if w.cl.deleted {
-				continue // drop lazily
-			}
-			if s.LitValue(w.blocker) == lit.True {
+			if s.litVal(lit.Lit(w.blocker)) == lit.True {
 				out = append(out, w)
 				continue
 			}
-			c := w.cl
-			falseLit := p.Not()
-			// Ensure the false literal is at position 1.
-			if c.lits[0] == falseLit {
-				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			c := cref(w.c)
+			h := s.ca.data[c]
+			if h&caDeleted != 0 {
+				continue // drop lazily
 			}
-			first := c.lits[0]
-			if first != w.blocker && s.LitValue(first) == lit.True {
-				out = append(out, watcher{cl: c, blocker: first})
+			base := c + hdrWords(h)
+			ls := s.ca.data[base : base+cref(h>>caSizeShift)]
+			// Ensure the false literal is at position 1.
+			if ls[0] == falseLit {
+				ls[0], ls[1] = ls[1], ls[0]
+			}
+			first := lit.Lit(ls[0])
+			if ls[0] != w.blocker && s.litVal(first) == lit.True {
+				out = append(out, watcher{c: w.c, blocker: ls[0]})
 				continue
 			}
 			// Look for a new literal to watch.
-			for k := 2; k < len(c.lits); k++ {
-				if s.LitValue(c.lits[k]) != lit.False {
-					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
-					nw := c.lits[1].Not()
-					s.watches[nw] = append(s.watches[nw], watcher{cl: c, blocker: first})
+			for k := 2; k < len(ls); k++ {
+				if s.litVal(lit.Lit(ls[k])) != lit.False {
+					ls[1], ls[k] = ls[k], ls[1]
+					nw := lit.Lit(ls[1]).Not()
+					s.watches[nw] = append(s.watches[nw], watcher{c: w.c, blocker: ls[0]})
 					continue watchLoop
 				}
 			}
 			// No new watch: clause is unit or conflicting.
-			out = append(out, watcher{cl: c, blocker: first})
-			if s.LitValue(first) == lit.False {
+			out = append(out, watcher{c: w.c, blocker: ls[0]})
+			if s.litVal(first) == lit.False {
 				confl = c
 				s.qhead = len(s.trail)
 				// Copy remaining watchers back untouched.
 				for i++; i < len(ws); i++ {
-					if !ws[i].cl.deleted {
-						out = append(out, ws[i])
-					}
+					out = append(out, ws[i])
 				}
 				break
 			}
@@ -440,11 +510,11 @@ func (s *Solver) propagate() *clause {
 			s.uncheckedEnqueue(first, c)
 		}
 		s.watches[p] = out
-		if confl != nil {
+		if confl != crefUndef {
 			return confl
 		}
 	}
-	return nil
+	return crefUndef
 }
 
 // cancelUntil backtracks to the given decision level.
@@ -457,7 +527,7 @@ func (s *Solver) cancelUntil(level int) {
 		l := s.trail[i]
 		v := l.Var()
 		s.assign[v] = lit.Unknown
-		s.reason[v] = nil
+		s.reason[v] = crefUndef
 		if s.opts.PhaseSaving {
 			s.polarity[v] = l.Sign()
 		}
@@ -486,17 +556,53 @@ func (s *Solver) varBump(v lit.Var) {
 
 func (s *Solver) varDecay() { s.varInc /= s.opts.VarDecay }
 
-func (s *Solver) claBump(c *clause) {
-	c.activity += s.claInc
-	if c.activity > 1e20 {
+func (s *Solver) claBump(c cref) {
+	a := s.ca.activity(c) + s.claInc
+	s.ca.setActivity(c, a)
+	if a > 1e20 {
 		for _, lc := range s.learnts {
-			lc.activity *= 1e-20
+			s.ca.setActivity(lc, s.ca.activity(lc)*1e-20)
 		}
 		s.claInc *= 1e-20
 	}
 }
 
 func (s *Solver) claDecay() { s.claInc /= s.opts.ClauseDecay }
+
+// installLearnt allocates a learnt clause in the arena, assigns its tier
+// from size and LBD, attaches it, and books the tier/footprint counters.
+// New learnts start with the used bit set — they are protected for the
+// reduce round they were learnt in.
+func (s *Solver) installLearnt(ls []lit.Lit, lbd int) cref {
+	c := s.ca.alloc(ls, true)
+	s.ca.setLBD(c, lbd)
+	t := tierFor(len(ls), lbd)
+	s.ca.setTier(c, t)
+	s.ca.setUsed(c)
+	s.bumpTier(t, 1)
+	s.learnts = append(s.learnts, c)
+	if len(s.learnts) > s.stats.PeakLearnts {
+		s.stats.PeakLearnts = len(s.learnts)
+	}
+	s.learntWords += uint64(s.ca.words(c))
+	if b := s.learntWords * 4; b > s.stats.PeakLearntBytes {
+		s.stats.PeakLearntBytes = b
+	}
+	s.attach(c)
+	s.claBump(c)
+	return c
+}
+
+func (s *Solver) bumpTier(t uint32, d int) {
+	switch t {
+	case tierCore:
+		s.nCore += d
+	case tierTwo:
+		s.nTier2 += d
+	case tierLocal:
+		s.nLocal += d
+	}
+}
 
 // pickBranchLit chooses the next decision literal, or UndefLit when all
 // variables are assigned.
@@ -521,6 +627,6 @@ func (s *Solver) pickBranchLit() lit.Lit {
 }
 
 func (s *Solver) String() string {
-	return fmt.Sprintf("sat.Solver(vars=%d clauses=%d learnts=%d)",
-		s.NumVars(), len(s.clauses), len(s.learnts))
+	return fmt.Sprintf("sat.Solver(vars=%d clauses=%d learnts=%d arenaKB=%d)",
+		s.NumVars(), len(s.clauses), len(s.learnts), len(s.ca.data)*4/1024)
 }

@@ -124,7 +124,14 @@ func TestRegistryIncrKeysHammer(t *testing.T) {
 		"incr.steps", "incr.clauses-added", "incr.clauses-retired",
 		"incr.learned-dropped", "incr.act-vars-retired", "incr.memo-invalidated",
 	}
-	gauges := []string{"incr.learned-kept", "incr.learned-live", "incr.memo-size"}
+	gauges := []string{
+		"incr.learned-kept", "incr.learned-live", "incr.learned-live-lits",
+		"incr.memo-size",
+		// The sat.* arena/tier keys are recorded by preimage.recordStats
+		// from whichever goroutine finishes a parallel run, like the
+		// simplify keys above.
+		"sat.learnts-core", "sat.learnts-tier2", "sat.learnts-local",
+	}
 	const (
 		goroutines = 8
 		rounds     = 300

@@ -16,6 +16,12 @@
 #   BENCH_TIME      -benchtime              (default: 2x)
 #   BENCH_COUNT     -count                  (default: 2)
 #   BENCH_BASELINE  prior BENCH_*.json embedded as "baseline" for deltas
+#   BENCH_ALLOW_SINGLE_CORE=1  record multi-worker benchmarks on a
+#                   single-core host anyway (loud warning + the JSON is
+#                   annotated); without it the run refuses, because
+#                   -workers>1 numbers at one scheduler slot measure
+#                   coordination overhead only, not parallel speedup
+#                   (the BENCH_2 lesson).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -26,14 +32,38 @@ BENCHTIME=${BENCH_TIME:-2x}
 COUNT=${BENCH_COUNT:-2}
 LABEL=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 
+# Single-core guard: multi-worker benchmarks (the ParallelEnumerate sweep
+# and anything matching -workers/Parallel) are meaningless as speedup
+# measurements when only one scheduler slot exists.
+EFFECTIVE_PROCS=$(GOMAXPROCS=${GOMAXPROCS:-} go run ./cmd/benchjson -print-gomaxprocs 2>/dev/null || echo 0)
+NOTE=""
+case "$PATTERN" in
+*ParallelEnumerate* | *Parallel* | *workers*)
+    if [ "$EFFECTIVE_PROCS" -le 1 ]; then
+        if [ "${BENCH_ALLOW_SINGLE_CORE:-0}" != "1" ]; then
+            echo "bench.sh: REFUSING to record multi-worker benchmarks with GOMAXPROCS=$EFFECTIVE_PROCS." >&2
+            echo "bench.sh: parallel numbers on a single-core host measure coordination overhead only." >&2
+            echo "bench.sh: set BENCH_ALLOW_SINGLE_CORE=1 to record anyway (the JSON will be annotated)," >&2
+            echo "bench.sh: or narrow BENCH_PATTERN to the sequential benchmarks." >&2
+            exit 2
+        fi
+        NOTE="single-core host (GOMAXPROCS=$EFFECTIVE_PROCS): multi-worker benchmarks measure coordination overhead, not parallel speedup"
+        echo "bench.sh: WARNING: $NOTE" >&2
+    fi
+    ;;
+esac
+
 TMP=$(mktemp bench.XXXXXX.txt)
 trap 'rm -f "$TMP"' EXIT
 
 go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" -count "$COUNT" . | tee "$TMP"
 
+set -- -label "$LABEL" -o "$OUT"
 if [ -n "${BENCH_BASELINE:-}" ]; then
-    go run ./cmd/benchjson -label "$LABEL" -baseline "$BENCH_BASELINE" -o "$OUT" < "$TMP"
-else
-    go run ./cmd/benchjson -label "$LABEL" -o "$OUT" < "$TMP"
+    set -- "$@" -baseline "$BENCH_BASELINE"
 fi
+if [ -n "$NOTE" ]; then
+    set -- "$@" -note "$NOTE"
+fi
+go run ./cmd/benchjson "$@" < "$TMP"
 echo "wrote $OUT"
