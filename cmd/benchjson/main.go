@@ -53,15 +53,15 @@ type Run struct {
 	// Host context recorded by benchjson itself (not parsed from the
 	// bench output): parallel-benchmark numbers are meaningless without
 	// the scheduler width and machine they ran on.
-	GoMaxProcs int         `json:"gomaxprocs,omitempty"`
-	NumCPU     int         `json:"numcpu,omitempty"`
-	Host       string      `json:"host,omitempty"`
-	GoVersion  string      `json:"goversion,omitempty"`
+	GoMaxProcs int    `json:"gomaxprocs,omitempty"`
+	NumCPU     int    `json:"numcpu,omitempty"`
+	Host       string `json:"host,omitempty"`
+	GoVersion  string `json:"goversion,omitempty"`
 	// Note carries a caveat about the run's validity, set with -note —
 	// e.g. scripts/bench.sh annotates multi-worker benchmarks recorded on
 	// a single-core host, whose parallel numbers measure coordination
 	// overhead only.
-	Note string `json:"note,omitempty"`
+	Note       string      `json:"note,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
 	Raw        []string    `json:"raw"` // verbatim lines, benchstat input
 }

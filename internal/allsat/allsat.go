@@ -61,7 +61,7 @@ type Stats struct {
 	// ArenaBytes is the clause-arena footprint at capture time (summed
 	// across workers); LearntsCore/Tier2/Local are the live per-tier
 	// learnt counts at the same instant.
-	ArenaBytes                             uint64
+	ArenaBytes                              uint64
 	LearntsCore, LearntsTier2, LearntsLocal uint64
 	// Decisions/Propagations/Conflicts come from the underlying search.
 	Decisions, Propagations, Conflicts uint64

@@ -258,6 +258,12 @@ func newParallelIterator(f *cnf.Formula, space *cube.Space, opts Options, eng en
 					select {
 					case p.ch <- c:
 					case <-ctx.Done():
+						// Cancelled while blocked on a full stream: record it, or
+						// a consumer that drains the buffered cubes would read the
+						// truncated enumeration as complete (Reason stays None when
+						// a sibling's budget abort cancelled us first — the CAS in
+						// record keeps the first reason).
+						p.record(budget.Cancelled)
 						p.fold(it.Stats())
 						return
 					}

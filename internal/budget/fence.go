@@ -1,0 +1,57 @@
+package budget
+
+import (
+	"context"
+	"time"
+)
+
+// Fence is a set of server-enforced ceilings on client-requested
+// budgets. A multi-tenant front end cannot trust callers to bound their
+// own work: a request asking for "unlimited" (zero) — or for more than
+// the operator allows — must still land under the server's caps, or one
+// tenant starves every other. Clamp applies that policy in one place.
+//
+// A zero ceiling leaves the corresponding limit unfenced (the client's
+// request passes through unchanged), so the zero Fence is a no-op and
+// existing single-user entry points keep their semantics.
+type Fence struct {
+	// MaxTimeout caps the wall-clock budget of one request (or, for a
+	// persistent session, the session's cumulative solve time — session
+	// budgets materialize once at creation).
+	MaxTimeout time.Duration
+	// MaxConflicts / MaxDecisions / MaxCubes cap the search counters.
+	MaxConflicts uint64
+	MaxDecisions uint64
+	MaxCubes     uint64
+	// MaxBDDNodes caps the solution-BDD size.
+	MaxBDDNodes int
+}
+
+// IsZero reports whether the fence imposes no ceilings.
+func (f Fence) IsZero() bool {
+	return f.MaxTimeout == 0 && f.MaxConflicts == 0 && f.MaxDecisions == 0 &&
+		f.MaxCubes == 0 && f.MaxBDDNodes == 0
+}
+
+// Clamp returns the requested budget clamped under the fence and bound
+// to ctx: for every limit the fence sets, the effective value is the
+// tighter of the request and the ceiling — in particular an "unlimited"
+// (zero) request becomes the ceiling. A non-nil ctx is attached so the
+// caller's cancellation (dropped connection, shutdown drain) aborts the
+// solve through the normal budget-poll path; a nil ctx leaves the
+// request's own context in place.
+func (f Fence) Clamp(ctx context.Context, req Budget) Budget {
+	if ctx != nil {
+		req.Ctx = ctx
+	}
+	if f.MaxTimeout > 0 && (req.Timeout <= 0 || req.Timeout > f.MaxTimeout) {
+		req.Timeout = f.MaxTimeout
+	}
+	req.MaxConflicts = mergeCap(req.MaxConflicts, f.MaxConflicts)
+	req.MaxDecisions = mergeCap(req.MaxDecisions, f.MaxDecisions)
+	req.MaxCubes = mergeCap(req.MaxCubes, f.MaxCubes)
+	if f.MaxBDDNodes > 0 && (req.MaxBDDNodes <= 0 || req.MaxBDDNodes > f.MaxBDDNodes) {
+		req.MaxBDDNodes = f.MaxBDDNodes
+	}
+	return req
+}

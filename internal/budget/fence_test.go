@@ -1,0 +1,80 @@
+package budget
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestFenceClampCeilings(t *testing.T) {
+	f := Fence{
+		MaxTimeout:   time.Minute,
+		MaxConflicts: 1000,
+		MaxDecisions: 2000,
+		MaxCubes:     50,
+		MaxBDDNodes:  1 << 20,
+	}
+	cases := []struct {
+		name string
+		req  Budget
+		want Budget
+	}{
+		{
+			name: "unlimited request lands on every ceiling",
+			req:  Budget{},
+			want: Budget{Timeout: time.Minute, MaxConflicts: 1000,
+				MaxDecisions: 2000, MaxCubes: 50, MaxBDDNodes: 1 << 20},
+		},
+		{
+			name: "over-ask is clamped down",
+			req: Budget{Timeout: time.Hour, MaxConflicts: 1 << 40,
+				MaxDecisions: 1 << 40, MaxCubes: 1 << 40, MaxBDDNodes: 1 << 30},
+			want: Budget{Timeout: time.Minute, MaxConflicts: 1000,
+				MaxDecisions: 2000, MaxCubes: 50, MaxBDDNodes: 1 << 20},
+		},
+		{
+			name: "tighter request passes through",
+			req: Budget{Timeout: time.Second, MaxConflicts: 10,
+				MaxDecisions: 20, MaxCubes: 5, MaxBDDNodes: 100},
+			want: Budget{Timeout: time.Second, MaxConflicts: 10,
+				MaxDecisions: 20, MaxCubes: 5, MaxBDDNodes: 100},
+		},
+	}
+	for _, tc := range cases {
+		got := f.Clamp(nil, tc.req)
+		if got.Timeout != tc.want.Timeout || got.MaxConflicts != tc.want.MaxConflicts ||
+			got.MaxDecisions != tc.want.MaxDecisions || got.MaxCubes != tc.want.MaxCubes ||
+			got.MaxBDDNodes != tc.want.MaxBDDNodes {
+			t.Errorf("%s: Clamp = %+v, want %+v", tc.name, got, tc.want)
+		}
+		if got.Ctx != nil {
+			t.Errorf("%s: nil ctx must not be attached", tc.name)
+		}
+	}
+}
+
+func TestFenceClampAttachesContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	got := Fence{}.Clamp(ctx, Budget{MaxCubes: 7})
+	if got.Ctx != ctx {
+		t.Fatalf("Clamp did not attach the context")
+	}
+	if got.MaxCubes != 7 {
+		t.Fatalf("zero fence changed MaxCubes: %d", got.MaxCubes)
+	}
+	// A zero fence with a context still produces a non-zero budget, so
+	// engines build a checker and observe the cancellation.
+	if got.IsZero() {
+		t.Fatalf("budget with ctx reported IsZero")
+	}
+}
+
+func TestFenceIsZero(t *testing.T) {
+	if !(Fence{}).IsZero() {
+		t.Fatalf("zero fence not IsZero")
+	}
+	if (Fence{MaxCubes: 1}).IsZero() {
+		t.Fatalf("non-zero fence reported IsZero")
+	}
+}

@@ -116,9 +116,9 @@ func (bf *BudgetFlags) StatsRegistry(name string) *stats.Registry {
 	}
 	reg := stats.NewRegistry(name)
 	if bf.StatsHTTP != "" {
-		errc := reg.Serve(bf.StatsHTTP)
+		ss := reg.Serve(bf.StatsHTTP)
 		go func() {
-			if err := <-errc; err != nil {
+			if err := <-ss.Err(); err != nil {
 				fmt.Fprintln(os.Stderr, "stats-http:", err)
 			}
 		}()

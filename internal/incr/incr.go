@@ -10,6 +10,7 @@
 package incr
 
 import (
+	"errors"
 	"time"
 
 	"allsatpre/internal/allsat"
@@ -75,12 +76,25 @@ type StepResult struct {
 	Reason  budget.Reason
 }
 
+// ErrClosed is returned by Step after Close: a closed session's solver
+// pool is cancelled and its retarget state is gone, so no further
+// frontier can be advanced.
+var ErrClosed = errors.New("incr: session is closed")
+
 // Session is a persistent solver + manager serving a sequence of
-// reachability steps. Not safe for concurrent use.
+// reachability steps.
+//
+// Concurrency contract: a Session is NOT safe for concurrent use —
+// callers serialize every method, including Close. A store that owns
+// sessions on behalf of multiple clients (e.g. internal/server's LRU
+// session store) must hold a per-session lock across each Step and
+// across the eviction Close, so an in-flight step always finishes or
+// aborts before the session's resources are torn down.
 type Session struct {
 	inst     *trans.Instance
 	ps       *pool.Session
 	backward bool
+	closed   bool
 
 	projSpace *cube.Space // ordered (state, input) projection, CNF var ids
 	stateVars []lit.Var   // enc.StateVars (backward) / dedup NextVars (forward)
@@ -184,8 +198,25 @@ func newPoolSession(inst *trans.Instance, space *cube.Space, opts Options) *pool
 	})
 }
 
-// Close releases the session's resources.
-func (s *Session) Close() { s.ps.Close() }
+// Close releases the session's resources: the worker pool's context is
+// cancelled (stopping any budget-polling solver work), the open step's
+// retarget state is dropped, and the solver/BDD state becomes
+// unreachable as soon as the caller drops its Session reference. Close
+// is idempotent; Step after Close returns ErrClosed. Like every other
+// method it must be externally serialized (see the type comment) — it
+// is the eviction hook an LRU session store calls once no step is in
+// flight.
+func (s *Session) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.cur = nil
+	s.ps.Close()
+}
+
+// Closed reports whether Close has been called.
+func (s *Session) Closed() bool { return s.closed }
 
 // Manager is the persistent BDD manager step sets live in.
 func (s *Session) Manager() *bdd.Manager { return s.ps.Manager() }
@@ -210,6 +241,9 @@ func (s *Session) Workers() int { return s.ps.Workers() }
 // one. The cover must be position-aligned to the latch order; any space
 // of the right width is accepted (RetargetCover semantics).
 func (s *Session) Step(cover *cube.Cover) (*StepResult, error) {
+	if s.closed {
+		return nil, ErrClosed
+	}
 	out := &StepResult{}
 	if s.cur != nil {
 		out.Retire = s.ps.RetireGroup(s.cur.Act.Not(), s.cur.Vars)

@@ -76,6 +76,31 @@ func TestSessionStepMatchesFreshCompute(t *testing.T) {
 	}
 }
 
+// TestSessionCloseContract pins the eviction hook the server's LRU
+// store relies on: Close is idempotent, Closed reports it, and Step
+// after Close fails with ErrClosed instead of touching torn-down state.
+func TestSessionCloseContract(t *testing.T) {
+	c := gen.SLike(gen.SLikeParams{Seed: 3, Inputs: 4, Latches: 4, Gates: 30})
+	sess, err := incr.NewBackward(c, incr.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Closed() {
+		t.Fatal("fresh session reports Closed")
+	}
+	if _, err := sess.Step(trans.TargetFromPatterns(4, "1XXX")); err != nil {
+		t.Fatal(err)
+	}
+	sess.Close()
+	sess.Close() // idempotent
+	if !sess.Closed() {
+		t.Fatal("Closed() false after Close")
+	}
+	if _, err := sess.Step(trans.TargetFromPatterns(4, "0XXX")); err != incr.ErrClosed {
+		t.Fatalf("Step after Close: err = %v, want ErrClosed", err)
+	}
+}
+
 // TestForwardSessionStepMatchesFreshImage does the same for the forward
 // direction against preimage.Image.
 func TestForwardSessionStepMatchesFreshImage(t *testing.T) {

@@ -128,6 +128,17 @@ func (e *ChronoEnum) Next() Status {
 	if s.check == nil && !s.opts.Budget.IsZero() {
 		s.check = s.opts.Budget.Start()
 	}
+	// Immediate (non-amortized) check at every cube boundary, matching
+	// Solve's entry check: enumeration between solutions can be
+	// conflict-free, and the amortized polls below would let a cancelled
+	// context go unnoticed for hundreds of cheap cubes otherwise.
+	if s.check != nil {
+		if r := s.check.Now(); r != budget.None {
+			s.stopReason = r
+			e.stopped = true
+			return Unknown
+		}
+	}
 	for {
 		confl := s.propagate()
 		if confl != crefUndef {

@@ -1,0 +1,62 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"allsatpre/internal/stats"
+)
+
+// admission is the semaphore-based concurrency gate in front of every
+// solve (one-shot streams and session steps alike). Enumeration is
+// CPU-bound: admitting more solves than cores only adds scheduler
+// churn and lets a burst of tenants push each other past their
+// wall-clock budgets. Saturated requests are rejected immediately with
+// 429 + Retry-After rather than queued — the client holds the retry
+// policy, the server holds the cap.
+type admission struct {
+	sem      chan struct{}
+	active   *stats.Counter // admitted, for the gauge pair below
+	released *stats.Counter
+	rejected *stats.Counter
+}
+
+func newAdmission(n int, reg *stats.Registry) *admission {
+	return &admission{
+		sem:      make(chan struct{}, n),
+		active:   reg.Counter("server.admitted"),
+		released: reg.Counter("server.completed"),
+		rejected: reg.Counter("server.rejected"),
+	}
+}
+
+// tryAcquire claims a solve slot without blocking.
+func (a *admission) tryAcquire() bool {
+	select {
+	case a.sem <- struct{}{}:
+		a.active.Inc()
+		return true
+	default:
+		a.rejected.Inc()
+		return false
+	}
+}
+
+func (a *admission) release() {
+	<-a.sem
+	a.released.Inc()
+}
+
+// admit gates a handler: on saturation it writes the 429 and reports
+// false; on success the caller must defer release().
+func (s *Server) admit(w http.ResponseWriter) bool {
+	if s.adm.tryAcquire() {
+		return true
+	}
+	secs := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	httpError(w, http.StatusTooManyRequests,
+		"solver capacity saturated; retry after the indicated delay")
+	return false
+}

@@ -1,0 +1,112 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"allsatpre/internal/allsat"
+	"allsatpre/internal/budget"
+)
+
+// The NDJSON stream protocol: one JSON object per line. A stream is
+//
+//	{"type":"header", ...}        exactly once, first
+//	{"type":"cube","cube":"01X"}  zero or more, as the iterator produces them
+//	{"type":"summary", ...}       exactly once, last
+//
+// The summary's truncated/reason pair is the HTTP spelling of the
+// repository-wide Aborted contract: a stream without truncated=true is
+// the complete projection; with it, the cubes seen are a sound
+// under-approximation and reason says which limit (or "shutdown", or
+// "cancelled") cut it short.
+
+type headerEvent struct {
+	Type       string `json:"type"` // "header"
+	Engine     string `json:"engine"`
+	Vars       int    `json:"vars"`
+	Projection []int  `json:"projection"` // 1-based DIMACS numbering
+	Workers    int    `json:"workers"`
+}
+
+type cubeEvent struct {
+	Type string `json:"type"` // "cube"
+	Cube string `json:"cube"` // 01X pattern over the projection, in order
+}
+
+type summaryEvent struct {
+	Type      string `json:"type"` // "summary"
+	Cubes     uint64 `json:"cubes"`
+	Solutions uint64 `json:"solutions"`
+	Count     string `json:"count,omitempty"` // exact minterms, when computed
+	Truncated bool   `json:"truncated"`
+	Reason    string `json:"reason,omitempty"`
+	Decisions uint64 `json:"decisions"`
+	Conflicts uint64 `json:"conflicts"`
+	ElapsedMS int64  `json:"elapsed_ms"`
+}
+
+// streamWriter writes NDJSON events and flushes after each one, so a
+// cube reaches the client the moment the iterator produced it — the
+// whole point of a streaming front end. Write errors (client went
+// away) are sticky; callers poll failed() and stop enumerating.
+type streamWriter struct {
+	enc  *json.Encoder
+	rc   *http.ResponseController
+	err  error
+	sent uint64
+}
+
+func newStreamWriter(w http.ResponseWriter) *streamWriter {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no") // defeat proxy buffering
+	return &streamWriter{enc: json.NewEncoder(w), rc: http.NewResponseController(w)}
+}
+
+func (sw *streamWriter) emit(v any) {
+	if sw.err != nil {
+		return
+	}
+	if err := sw.enc.Encode(v); err != nil {
+		sw.err = err
+		return
+	}
+	if err := sw.rc.Flush(); err != nil {
+		sw.err = err
+	}
+}
+
+func (sw *streamWriter) cube(pattern string) {
+	sw.emit(cubeEvent{Type: "cube", Cube: pattern})
+	if sw.err == nil {
+		sw.sent++
+	}
+}
+
+func (sw *streamWriter) failed() bool { return sw.err != nil }
+
+// reasonString renders a stop reason for the summary line, folding the
+// server-side shutdown drain into its own named reason so clients can tell
+// "the server is restarting, retry elsewhere" from "my budget tripped".
+func (s *Server) reasonString(r budget.Reason) string {
+	if r == budget.Cancelled && s.drained() {
+		return "shutdown"
+	}
+	if r == budget.None {
+		return ""
+	}
+	return r.String()
+}
+
+// summarize builds the trailer for a streamed enumeration.
+func (s *Server) summarize(st allsat.Stats, sent uint64, reason budget.Reason, elapsedMS int64) summaryEvent {
+	return summaryEvent{
+		Type:      "summary",
+		Cubes:     sent,
+		Solutions: st.Solutions,
+		Truncated: reason != budget.None,
+		Reason:    s.reasonString(reason),
+		Decisions: st.Decisions,
+		Conflicts: st.Conflicts,
+		ElapsedMS: elapsedMS,
+	}
+}

@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"fmt"
+	"time"
+)
+
+// histBounds are the exponential latency buckets (upper bounds) shared
+// by every Histogram: 1ms·4^k up to ~17 minutes, plus a +inf overflow.
+// Powers of four keep the bucket count small while still separating
+// "interactive" from "long solve" traffic. Keys are zero-padded so the
+// registry's alphabetical metric sort renders them in numeric order.
+var histBounds = []time.Duration{
+	1 * time.Millisecond,
+	4 * time.Millisecond,
+	16 * time.Millisecond,
+	64 * time.Millisecond,
+	256 * time.Millisecond,
+	1024 * time.Millisecond,
+	4096 * time.Millisecond,
+	16384 * time.Millisecond,
+	65536 * time.Millisecond,
+	262144 * time.Millisecond,
+	1048576 * time.Millisecond,
+}
+
+// Histogram accumulates duration observations into cumulative
+// exponential buckets. The buckets live as ordinary registry counters
+// (name.le-0001ms … name.le-inf, plus name.count and a name.total
+// duration), so snapshots, the text renderer, and the HTTP endpoint all
+// see histogram data with no new snapshot machinery. Safe for
+// concurrent use.
+type Histogram struct {
+	buckets []*Counter // cumulative: buckets[i] counts d <= histBounds[i]
+	inf     *Counter
+	count   *Counter
+	reg     *Registry
+	total   string
+}
+
+// Histogram returns (creating on first use) the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	h, ok := r.histograms[name]
+	if ok {
+		r.mu.Unlock()
+		return h
+	}
+	r.mu.Unlock()
+
+	h = &Histogram{reg: r, total: name + ".total"}
+	for _, b := range histBounds {
+		h.buckets = append(h.buckets,
+			r.Counter(fmt.Sprintf("%s.le-%07dms", name, b.Milliseconds())))
+	}
+	h.inf = r.Counter(name + ".le-inf")
+	h.count = r.Counter(name + ".count")
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if existing, ok := r.histograms[name]; ok {
+		return existing // lost a registration race; counters are shared anyway
+	}
+	r.histograms[name] = h
+	return h
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	for i, b := range histBounds {
+		if d <= b {
+			h.buckets[i].Inc()
+		}
+	}
+	h.inf.Inc()
+	h.count.Inc()
+	h.reg.AddDuration(h.total, d)
+}

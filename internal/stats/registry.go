@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -32,24 +33,26 @@ func (c *Counter) Load() uint64 { return c.v.Load() }
 type Registry struct {
 	name string
 
-	mu        sync.Mutex
-	counters  map[string]*Counter
-	gauges    map[string]int64
-	floats    map[string]float64
-	durations map[string]time.Duration
-	phases    map[string]*Registry
-	order     []string // insertion order of phases
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]int64
+	floats     map[string]float64
+	durations  map[string]time.Duration
+	histograms map[string]*Histogram
+	phases     map[string]*Registry
+	order      []string // insertion order of phases
 }
 
 // NewRegistry creates a root registry with the given name.
 func NewRegistry(name string) *Registry {
 	return &Registry{
-		name:      name,
-		counters:  map[string]*Counter{},
-		gauges:    map[string]int64{},
-		floats:    map[string]float64{},
-		durations: map[string]time.Duration{},
-		phases:    map[string]*Registry{},
+		name:       name,
+		counters:   map[string]*Counter{},
+		gauges:     map[string]int64{},
+		floats:     map[string]float64{},
+		durations:  map[string]time.Duration{},
+		histograms: map[string]*Histogram{},
+		phases:     map[string]*Registry{},
 	}
 }
 
@@ -213,16 +216,47 @@ func (r *Registry) Handler() http.Handler {
 	})
 }
 
+// SnapshotServer is a running registry-snapshot HTTP endpoint with a
+// graceful shutdown path. Close drains in-flight snapshot requests
+// instead of dropping them; the underlying server carries a
+// ReadHeaderTimeout so a slow-headers client cannot pin a connection
+// open indefinitely (slowloris).
+type SnapshotServer struct {
+	srv  *http.Server
+	errc chan error
+}
+
 // Serve starts an HTTP server for the registry snapshot on addr in a
-// background goroutine, returning immediately. Errors (e.g. a busy
-// port) are reported on the returned channel.
-func (r *Registry) Serve(addr string) <-chan error {
-	errc := make(chan error, 1)
+// background goroutine, returning immediately. Startup errors (e.g. a
+// busy port) are reported on Err; call Close to shut the endpoint down
+// gracefully.
+func (r *Registry) Serve(addr string) *SnapshotServer {
 	mux := http.NewServeMux()
 	mux.Handle("/", r.Handler())
 	mux.Handle("/debug/stats", r.Handler())
+	s := &SnapshotServer{
+		srv: &http.Server{
+			Addr:              addr,
+			Handler:           mux,
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+		errc: make(chan error, 1),
+	}
 	go func() {
-		errc <- http.ListenAndServe(addr, mux)
+		if err := s.srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			s.errc <- err
+		}
 	}()
-	return errc
+	return s
+}
+
+// Err reports a startup or serve failure (never http.ErrServerClosed).
+func (s *SnapshotServer) Err() <-chan error { return s.errc }
+
+// Close shuts the endpoint down, draining in-flight requests for up to
+// two seconds before closing the remaining connections.
+func (s *SnapshotServer) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return s.srv.Shutdown(ctx)
 }

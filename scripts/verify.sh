@@ -21,3 +21,37 @@ GOMAXPROCS=4 go test -race -run 'TestDeterministic|TestAbortSoundness' ./interna
 GOMAXPROCS=1 go test -run 'TestSimplify' ./internal/preimage/
 GOMAXPROCS=4 go test -race -run 'TestSimplify' ./internal/preimage/
 go test -run '^$' -bench 'Table|ParallelEnumerate|ReachIncremental|Simplify' -benchtime=1x -benchmem .
+
+# Service smoke test: boot cmd/serve on a random port, stream a small
+# enumeration, create/step/evict a session, and drain on SIGTERM. This
+# exercises the daemon wiring (listener, mux, shutdown order) that the
+# package's httptest-based suite cannot see.
+SERVE_DIR=$(mktemp -d)
+trap 'kill $SERVE_PID 2>/dev/null || true; rm -rf "$SERVE_DIR"' EXIT
+go build -o "$SERVE_DIR/serve" ./cmd/serve
+"$SERVE_DIR/serve" -addr 127.0.0.1:0 -max-sessions 1 > "$SERVE_DIR/log" &
+SERVE_PID=$!
+for i in $(seq 1 50); do
+    ADDR=$(sed -n 's/^serve: listening on //p' "$SERVE_DIR/log")
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ]
+printf 'p cnf 3 2\n1 2 0\n-1 3 0\n' > "$SERVE_DIR/f.cnf"
+curl -sfN --data-binary @"$SERVE_DIR/f.cnf" "http://$ADDR/v1/enumerate?engine=disjoint" > "$SERVE_DIR/stream"
+grep -q '"type":"header"' "$SERVE_DIR/stream"
+grep -q '"type":"cube"' "$SERVE_DIR/stream"
+grep -q '"truncated":false' "$SERVE_DIR/stream"
+go run ./cmd/benchgen counter:3 > "$SERVE_DIR/counter.bench"
+BENCH=$(awk '{printf "%s\\n", $0}' "$SERVE_DIR/counter.bench" | sed 's/"/\\"/g')
+curl -sf "http://$ADDR/v1/sessions" \
+    -d "{\"name\":\"smoke\",\"bench\":\"$BENCH\",\"target\":[\"000\"]}" | grep -q '"id":"smoke"'
+curl -sf -XPOST "http://$ADDR/v1/sessions/smoke/step" | grep -q '"new_states":"1"'
+# max-sessions is 1: a second session must evict the first.
+curl -sf "http://$ADDR/v1/sessions" \
+    -d "{\"name\":\"second\",\"bench\":\"$BENCH\",\"target\":[\"111\"]}" | grep -q '"evicted":\["smoke"\]'
+test "$(curl -s -o /dev/null -w '%{http_code}' -XPOST "http://$ADDR/v1/sessions/smoke/step")" = 404
+curl -sf "http://$ADDR/debug/stats" | grep -q 'server.requests'
+kill -TERM $SERVE_PID
+wait $SERVE_PID
+grep -q 'serve: drained' "$SERVE_DIR/log"
