@@ -5,7 +5,18 @@
 // Usage:
 //
 //	serve [-addr :8080] [-max-concurrent N] [-max-sessions N] \
-//	      [-fence-timeout 60s] [-fence-conflicts N] [-fence-cubes N] ...
+//	      [-fence-timeout 60s] [-fence-conflicts N] [-fence-cubes N] \
+//	      [-admission-wait 200ms] [-admission-queue N] \
+//	      [-tenant-fences SPEC] [-tenant-header X-Tenant] \
+//	      [-pool-bytes N] [-sched-workers N] [-pprof] ...
+//
+// Requests execute on a pooled runtime: solvers and BDD managers are
+// Reset and reused from a warm free-list (capped at -pool-bytes), and
+// parallel subcube jobs from all in-flight requests share one
+// fair-share executor pool (-sched-workers) keyed by the tenant id in
+// the -tenant-header request header. At admission saturation a request
+// waits up to -admission-wait in a bounded FIFO queue before 429; the
+// Retry-After hint tracks the observed queue drain time.
 //
 // Endpoints (see the README's Serving section for curl examples):
 //
@@ -51,7 +62,26 @@ func main() {
 	fenceDecisions := flag.Uint64("fence-decisions", 0, "decision ceiling per request (0 = none)")
 	fenceCubes := flag.Uint64("fence-cubes", 0, "cube ceiling per request (0 = none)")
 	fenceNodes := flag.Int("fence-bdd-nodes", 0, "BDD-node ceiling per request (0 = none)")
+	admissionWait := flag.Duration("admission-wait", 0,
+		"how long a request may wait in the admission queue at saturation before 429 (0 = reject immediately)")
+	admissionQueue := flag.Int("admission-queue", 0,
+		"max requests waiting for admission at once; 0 = 2x max-concurrent")
+	tenantFences := flag.String("tenant-fences", "",
+		"per-tenant fence overrides, e.g. \"alice:timeout=30s,cubes=100000;bob:timeout=2s\" (see README)")
+	tenantHeader := flag.String("tenant-header", "",
+		"request header carrying the tenant id (default X-Tenant)")
+	poolBytes := flag.Int64("pool-bytes", 0,
+		"byte ceiling of the warm solver/manager pool; 0 = default (256 MiB), negative disables pooling")
+	schedWorkers := flag.Int("sched-workers", 0,
+		"shared scheduler executor count; 0 = max-concurrent, negative disables the shared scheduler")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default)")
 	flag.Parse()
+
+	fences, err := server.ParseFenceSpec(*tenantFences)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(2)
+	}
 
 	reg := stats.NewRegistry("serve")
 	srv := server.New(server.Config{
@@ -66,7 +96,14 @@ func main() {
 			MaxCubes:     *fenceCubes,
 			MaxBDDNodes:  *fenceNodes,
 		},
-		Stats: reg,
+		AdmissionWait:  *admissionWait,
+		AdmissionQueue: *admissionQueue,
+		TenantFences:   fences,
+		TenantHeader:   *tenantHeader,
+		PoolBytes:      *poolBytes,
+		SchedWorkers:   *schedWorkers,
+		EnablePprof:    *pprofOn,
+		Stats:          reg,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

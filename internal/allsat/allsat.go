@@ -28,6 +28,7 @@ import (
 	"allsatpre/internal/cnf"
 	"allsatpre/internal/cube"
 	"allsatpre/internal/lit"
+	rt "allsatpre/internal/runtime"
 	"allsatpre/internal/sat"
 	"allsatpre/internal/simplify"
 )
@@ -133,6 +134,13 @@ type Options struct {
 	// simplifier must preserve: activation/selector literals, next-state
 	// variables a caller will constrain incrementally.
 	Frozen []lit.Var
+	// Runtime, when non-nil, attaches the pooled execution substrate:
+	// solvers and BDD managers come warm from Runtime.Pool (Reset instead
+	// of reconstructed — bit-identical results, pinned by the reuse
+	// equivalence suite), and parallel subcube jobs run on Runtime.Sched's
+	// shared fair-share executors instead of per-request goroutines. Nil
+	// keeps the classic behavior.
+	Runtime *rt.Runtime
 }
 
 // maybeSimplify preprocesses f (on a clone — the caller's formula is
@@ -163,10 +171,23 @@ func maybeSimplify(f *cnf.Formula, space *cube.Space, opts *Options) (*cnf.Formu
 
 // countCover computes the exact minterm count of a cover by building its
 // BDD over the projection space, reporting the manager's kernel gauges.
-func countCover(cv *cube.Cover) (*big.Int, int, bdd.KernelStats) {
-	m := bdd.NewOrdered(cv.Space().Vars())
+// The counting manager comes from (and returns to) the warm pool when
+// one is attached; node counts and the count itself are identical either
+// way — canonicity does not depend on table capacity.
+func countCover(cv *cube.Cover, p *rt.Pool) (*big.Int, int, bdd.KernelStats) {
+	m := p.AcquireManager(cv.Space().Vars(), 0)
 	f := m.FromCover(cv)
-	return m.SatCount(f), m.NumNodes(), m.Kernel()
+	count, nodes, kernel := m.SatCount(f), m.NumNodes(), m.Kernel()
+	p.ReleaseManager(m)
+	return count, nodes, kernel
+}
+
+// acquireLoaded obtains an iterator's solver — warm from the runtime
+// pool when one is attached, fresh otherwise — and bulk-loads f into it.
+func acquireLoaded(f *cnf.Formula, satOpts sat.Options, r *rt.Runtime) *sat.Solver {
+	s := r.P().AcquireSolver(satOpts, uint64(f.NumVars)*64)
+	s.LoadFormula(f)
+	return s
 }
 
 // engineKind selects which streaming iterator drives the shared
@@ -185,6 +206,9 @@ type cubeIterator interface {
 	Next() (cube.Cube, bool)
 	Reason() budget.Reason
 	Stats() Stats
+	// Close releases pooled resources (the solver) back to the runtime
+	// pool; the iterator is spent afterwards. Idempotent, nil-pool-safe.
+	Close()
 }
 
 func newKindIterator(f *cnf.Formula, space *cube.Space, opts Options, eng engineKind) cubeIterator {
@@ -257,8 +281,9 @@ func enumerateSimplified(f *cnf.Formula, space *cube.Space, opts Options, eng en
 	}
 
 	res.Stats = it.Stats()
+	it.Close()
 	var kernel bdd.KernelStats
-	res.Count, res.Stats.BDDNodes, kernel = countCover(res.Cover)
+	res.Count, res.Stats.BDDNodes, kernel = countCover(res.Cover, opts.Runtime.P())
 	res.Stats.Kernel.Merge(kernel)
 	return res
 }

@@ -5,6 +5,7 @@ import (
 	"allsatpre/internal/cnf"
 	"allsatpre/internal/cube"
 	"allsatpre/internal/lit"
+	rt "allsatpre/internal/runtime"
 	"allsatpre/internal/sat"
 	"allsatpre/internal/simplify"
 )
@@ -18,6 +19,7 @@ import (
 // workers) run either engine.
 type DisjointIterator struct {
 	s      *sat.Solver
+	rt     *rt.Runtime // pool the solver returns to on Close (may be nil)
 	ch     *sat.ChronoEnum
 	space  *cube.Space
 	done   bool
@@ -39,9 +41,10 @@ func NewDisjointIterator(f *cnf.Formula, space *cube.Space, opts Options) *Disjo
 	if satOpts.Budget.IsZero() {
 		satOpts.Budget = opts.Budget.Materialize()
 	}
-	s := sat.FromFormula(f, satOpts)
+	s := acquireLoaded(f, satOpts, opts.Runtime)
 	it := &DisjointIterator{
 		s:     s,
+		rt:    opts.Runtime,
 		ch:    sat.NewChronoEnum(s, space.Vars()),
 		space: space,
 	}
@@ -91,7 +94,26 @@ func (it *DisjointIterator) Stats() Stats {
 	return it.stats
 }
 
+// Close ends the iteration and releases the solver back to the runtime
+// pool (a no-op without one). The ChronoEnum wrapped around the solver
+// is dropped with it — a Reset solver must never be driven by a stale
+// enumerator. Idempotent; Stats stays valid.
+func (it *DisjointIterator) Close() {
+	if it.s == nil {
+		return
+	}
+	it.captureStats()
+	it.done = true
+	s := it.s
+	it.s = nil
+	it.ch = nil
+	it.rt.P().ReleaseSolver(s)
+}
+
 func (it *DisjointIterator) captureStats() {
+	if it.s == nil {
+		return
+	}
 	ss := it.s.Stats()
 	it.stats.Decisions = ss.Decisions
 	it.stats.Propagations = ss.Propagations

@@ -5,6 +5,7 @@ import (
 	"allsatpre/internal/cnf"
 	"allsatpre/internal/cube"
 	"allsatpre/internal/lit"
+	rt "allsatpre/internal/runtime"
 	"allsatpre/internal/sat"
 	"allsatpre/internal/simplify"
 )
@@ -15,6 +16,7 @@ import (
 // with lifting — underneath.
 type Iterator struct {
 	s        *sat.Solver
+	rt       *rt.Runtime // pool the solver returns to on Close (may be nil)
 	space    *cube.Space
 	lifter   *modelLifter
 	modelBuf []bool // reused across Next calls via ModelBuf
@@ -37,7 +39,8 @@ func NewIterator(f *cnf.Formula, space *cube.Space, opts Options, lift bool) *It
 		satOpts.Budget = opts.Budget.Materialize()
 	}
 	it := &Iterator{
-		s:     sat.FromFormula(f, satOpts),
+		s:     acquireLoaded(f, satOpts, opts.Runtime),
+		rt:    opts.Runtime,
 		space: space,
 	}
 	it.stats.Simplify = sstats
@@ -112,7 +115,24 @@ func (it *Iterator) Stats() Stats {
 	return it.stats
 }
 
+// Close ends the iteration and releases the solver back to the runtime
+// pool (a no-op without one). Idempotent; Next returns false afterwards
+// and Stats stays valid.
+func (it *Iterator) Close() {
+	if it.s == nil {
+		return
+	}
+	it.captureStats()
+	it.done = true
+	s := it.s
+	it.s = nil
+	it.rt.P().ReleaseSolver(s)
+}
+
 func (it *Iterator) captureStats() {
+	if it.s == nil {
+		return
+	}
 	ss := it.s.Stats()
 	it.stats.Decisions = ss.Decisions
 	it.stats.Propagations = ss.Propagations

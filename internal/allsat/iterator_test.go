@@ -51,7 +51,7 @@ func TestIteratorMatchesBatchEnumeration(t *testing.T) {
 }
 
 func countCoverMinterms(cv *cube.Cover) *big.Int {
-	c, _, _ := countCover(cv)
+	c, _, _ := countCover(cv, nil)
 	return c
 }
 

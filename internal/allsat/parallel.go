@@ -87,57 +87,79 @@ func enumerateParallel(f *cnf.Formula, space *cube.Space, opts Options, eng engi
 		stats Stats
 	}
 	outs := make([]subOut, len(subs))
-	feed := make(chan int)
-	go func() {
-		defer close(feed)
-		for i := range subs {
-			select {
-			case feed <- i:
-			case <-ctx.Done():
-				return
+	runSub := func(i int) {
+		it := newKindIterator(restrictFormula(f, space, subs[i]), space, wopts, eng)
+		var cubes []cube.Cube
+		for {
+			if maxCubes > 0 && cubeCount.Load() >= maxCubes {
+				record(budget.Cubes)
+				break
 			}
+			c, ok := it.Next()
+			if !ok {
+				record(it.Reason())
+				break
+			}
+			// Claim the slot before keeping the cube: the shared
+			// counter only ever holds kept cubes plus transient
+			// over-claims that are immediately returned, so the
+			// merged cover respects the cap exactly — checking
+			// Load() before Add() would let two workers pass at
+			// maxCubes-1 and overshoot by up to workers-1.
+			if maxCubes > 0 && cubeCount.Add(1) > maxCubes {
+				cubeCount.Add(^uint64(0)) // unclaim
+				record(budget.Cubes)
+				break
+			}
+			cubes = append(cubes, c)
 		}
-	}()
+		outs[i] = subOut{cubes: cubes, stats: it.Stats()}
+		it.Close()
+	}
 
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range feed {
-				it := newKindIterator(restrictFormula(f, space, subs[i]), space, wopts, eng)
-				var cubes []cube.Cube
-				for {
-					if maxCubes > 0 && cubeCount.Load() >= maxCubes {
-						record(budget.Cubes)
-						break
-					}
-					c, ok := it.Next()
-					if !ok {
-						record(it.Reason())
-						break
-					}
-					// Claim the slot before keeping the cube: the shared
-					// counter only ever holds kept cubes plus transient
-					// over-claims that are immediately returned, so the
-					// merged cover respects the cap exactly — checking
-					// Load() before Add() would let two workers pass at
-					// maxCubes-1 and overshoot by up to workers-1.
-					if maxCubes > 0 && cubeCount.Add(1) > maxCubes {
-						cubeCount.Add(^uint64(0)) // unclaim
-						record(budget.Cubes)
-						break
-					}
-					cubes = append(cubes, c)
+	if sched := opts.Runtime.S(); sched != nil {
+		// Scheduler mode: one job per subcube on the server-wide executor
+		// pool, fair-shared against every other in-flight request. outs is
+		// indexed by subcube, so the merged cover is byte-identical to the
+		// goroutine mode regardless of dispatch order.
+		var wg sync.WaitGroup
+		wg.Add(len(subs))
+		for i := range subs {
+			sched.Submit(opts.Runtime.Tenant, func() {
+				defer wg.Done()
+				if ctx.Err() == nil {
+					runSub(i)
 				}
-				outs[i] = subOut{cubes: cubes, stats: it.Stats()}
-				if ctx.Err() != nil {
+			})
+		}
+		wg.Wait()
+	} else {
+		feed := make(chan int)
+		go func() {
+			defer close(feed)
+			for i := range subs {
+				select {
+				case feed <- i:
+				case <-ctx.Done():
 					return
 				}
 			}
 		}()
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range feed {
+					runSub(i)
+					if ctx.Err() != nil {
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 
 	res := &Result{Space: space, Cover: cube.NewCover(space)}
 	for _, o := range outs {
@@ -161,7 +183,7 @@ func enumerateParallel(f *cnf.Formula, space *cube.Space, opts Options, eng engi
 		res.Stats.Conflicts += s.Conflicts
 	}
 	var kernel bdd.KernelStats
-	res.Count, res.Stats.BDDNodes, kernel = countCover(res.Cover)
+	res.Count, res.Stats.BDDNodes, kernel = countCover(res.Cover, opts.Runtime.P())
 	res.Stats.Kernel.Merge(kernel)
 	if r := budget.Reason(abortReason.Load()); r != budget.None {
 		res.Aborted = true
@@ -182,6 +204,19 @@ type ParallelIterator struct {
 
 	mu    sync.Mutex
 	stats Stats
+
+	// Scheduler mode (runtime-backed): subcube jobs run on the shared
+	// executors, which must never block on a slow consumer — cubes
+	// accumulate in buf under mu and Next waits on cond instead of a
+	// bounded channel. The lost backpressure is bounded by the request's
+	// cube/budget fences (the collect-then-merge paths buffer the whole
+	// cover anyway).
+	sched   bool
+	cond    *sync.Cond
+	buf     []cube.Cube
+	bufHead int
+	closed  bool // every subcube job finished
+	stopped bool // consumer called Stop
 }
 
 // NewParallelIterator starts opts.Workers workers (minimum 1) and
@@ -231,6 +266,37 @@ func newParallelIterator(f *cnf.Formula, space *cube.Space, opts Options, eng en
 	wopts.Budget = bud
 	wopts.Budget.Ctx = ctx
 
+	if sched := opts.Runtime.S(); sched != nil {
+		p.sched = true
+		p.cond = sync.NewCond(&p.mu)
+		var pending atomic.Int64
+		pending.Store(int64(len(subs)))
+		for i := range subs {
+			sched.Submit(opts.Runtime.Tenant, func() {
+				if ctx.Err() == nil {
+					it := newKindIterator(restrictFormula(f, space, subs[i]), space, wopts, eng)
+					for {
+						c, ok := it.Next()
+						if !ok {
+							p.record(it.Reason())
+							break
+						}
+						p.push(c)
+					}
+					p.fold(it.Stats())
+					it.Close()
+				}
+				if pending.Add(-1) == 0 {
+					p.mu.Lock()
+					p.closed = true
+					p.mu.Unlock()
+					p.cond.Broadcast()
+				}
+			})
+		}
+		return p
+	}
+
 	feed := make(chan int)
 	go func() {
 		defer close(feed)
@@ -265,10 +331,12 @@ func newParallelIterator(f *cnf.Formula, space *cube.Space, opts Options, eng en
 						// record keeps the first reason).
 						p.record(budget.Cancelled)
 						p.fold(it.Stats())
+						it.Close()
 						return
 					}
 				}
 				p.fold(it.Stats())
+				it.Close()
 				if ctx.Err() != nil {
 					return
 				}
@@ -311,24 +379,62 @@ func (p *ParallelIterator) fold(s Stats) {
 	p.stats.Conflicts += s.Conflicts
 }
 
+// push appends a cube to the scheduler-mode buffer and wakes a consumer.
+func (p *ParallelIterator) push(c cube.Cube) {
+	p.mu.Lock()
+	p.buf = append(p.buf, c)
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
 // Next returns the next solution cube, or ok=false once every worker has
 // drained its subcubes (or Stop/a budget cut them short).
 func (p *ParallelIterator) Next() (cube.Cube, bool) {
-	c, ok := <-p.ch
-	if !ok {
-		p.done.Store(true)
+	if !p.sched {
+		c, ok := <-p.ch
+		if !ok {
+			p.done.Store(true)
+		}
+		return c, ok
 	}
-	return c, ok
+	p.mu.Lock()
+	for p.bufHead >= len(p.buf) && !p.closed && !p.stopped {
+		p.cond.Wait()
+	}
+	if p.bufHead < len(p.buf) && !p.stopped {
+		c := p.buf[p.bufHead]
+		p.buf[p.bufHead] = nil
+		p.bufHead++
+		p.mu.Unlock()
+		return c, true
+	}
+	p.mu.Unlock()
+	p.done.Store(true)
+	return nil, false
 }
 
 // Stop cancels the workers and drains the stream. Safe to call more than
 // once and after exhaustion.
 func (p *ParallelIterator) Stop() {
 	p.cancel()
+	if p.sched {
+		p.mu.Lock()
+		p.stopped = true
+		p.mu.Unlock()
+		p.cond.Broadcast()
+		p.done.Store(true)
+		return
+	}
 	for range p.ch {
 	}
 	p.done.Store(true)
 }
+
+// Close ends the iteration; the workers (or scheduler jobs) release
+// their per-subcube iterators — and pooled solvers — as they wind down.
+// It makes ParallelIterator satisfy the same closeable-iterator surface
+// as the sequential iterators.
+func (p *ParallelIterator) Close() { p.Stop() }
 
 // Exhausted reports whether the stream has ended. Safe to call
 // concurrently with Next/Stop.

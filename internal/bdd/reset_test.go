@@ -1,0 +1,115 @@
+package bdd
+
+import (
+	"testing"
+
+	"allsatpre/internal/budget"
+	"allsatpre/internal/lit"
+)
+
+// buildMajority constructs a small but nontrivial function (majority over
+// three xor pairs) and returns the final root plus the manager's node
+// count — enough structure to exercise mk, the apply cache, and at least
+// one unique-table growth on a fresh manager.
+func buildMajority(m *Manager) (Ref, int) {
+	vs := make([]Ref, 6)
+	for i := range vs {
+		vs[i] = m.Var(lit.Var(i))
+	}
+	a := m.Xor(vs[0], vs[1])
+	b := m.Xor(vs[2], vs[3])
+	c := m.Xor(vs[4], vs[5])
+	maj := m.Or(m.Or(m.And(a, b), m.And(a, c)), m.And(b, c))
+	return maj, m.NumNodes()
+}
+
+// TestManagerResetBitIdentical pins the Reset contract: replaying the
+// same operation sequence on a Reset-reused manager yields the same Refs
+// and the same node population as a fresh manager, even though the
+// reused unique table and apply cache are larger than a fresh one's.
+func TestManagerResetBitIdentical(t *testing.T) {
+	order := []lit.Var{0, 1, 2, 3, 4, 5}
+	fresh := NewOrdered(order)
+	wantRoot, wantNodes := buildMajority(fresh)
+
+	reused := NewOrdered(order)
+	// Warm it on a different order and function so stale state exists.
+	buildMajority(reused)
+	reused.Reset([]lit.Var{5, 4, 3, 2, 1, 0})
+	buildMajority(reused)
+
+	reused.Reset(order)
+	gotRoot, gotNodes := buildMajority(reused)
+	if gotRoot != wantRoot || gotNodes != wantNodes {
+		t.Fatalf("reused manager diverged: root %d/%d nodes %d/%d",
+			gotRoot, wantRoot, gotNodes, wantNodes)
+	}
+	// The function must be semantically identical too.
+	assign := make([]bool, 6)
+	for bits := 0; bits < 64; bits++ {
+		for i := range assign {
+			assign[i] = bits&(1<<i) != 0
+		}
+		if fresh.Eval(wantRoot, assign) != reused.Eval(gotRoot, assign) {
+			t.Fatalf("semantic divergence at assignment %06b", bits)
+		}
+	}
+}
+
+// TestManagerResetRetainsCapacity verifies the warm-pool property: the
+// node slice and unique table stay at high-water size across Reset.
+func TestManagerResetRetainsCapacity(t *testing.T) {
+	m := NewOrdered([]lit.Var{0, 1, 2, 3, 4, 5})
+	buildMajority(m)
+	nodeCap := cap(m.nodes)
+	slots := len(m.unique.slots)
+	m.Reset([]lit.Var{0, 1, 2, 3, 4, 5})
+	if cap(m.nodes) != nodeCap {
+		t.Fatalf("node capacity dropped: %d -> %d", nodeCap, cap(m.nodes))
+	}
+	if len(m.unique.slots) != slots {
+		t.Fatalf("unique table shrank: %d -> %d", slots, len(m.unique.slots))
+	}
+	if m.NumNodes() != 2 {
+		t.Fatalf("Reset left %d nodes, want 2 terminals", m.NumNodes())
+	}
+	if m.RetainedBytes() == 0 {
+		t.Fatal("RetainedBytes reported zero for a warm manager")
+	}
+}
+
+// TestManagerResetClearsLimits: budget hooks and node caps must not leak
+// into the next tenant's request.
+func TestManagerResetClearsLimits(t *testing.T) {
+	m := NewOrdered([]lit.Var{0, 1, 2, 3, 4, 5})
+	m.SetLimits(3, nil)
+	var reason budget.Reason
+	func() {
+		defer CatchAbort(&reason)
+		buildMajority(m)
+	}()
+	if reason != budget.Nodes {
+		t.Fatalf("expected node-cap abort, got %v", reason)
+	}
+	m.Reset([]lit.Var{0, 1, 2, 3, 4, 5})
+	if _, n := buildMajority(m); n == 0 {
+		t.Fatal("build failed after Reset")
+	}
+}
+
+// TestManagerResetNarrowerOrder: reusing a manager for a request with
+// fewer variables must not read stale varLevel entries.
+func TestManagerResetNarrowerOrder(t *testing.T) {
+	m := NewOrdered([]lit.Var{0, 1, 2, 3, 4, 5, 6, 7})
+	buildMajority(m)
+	m.Reset([]lit.Var{1, 0})
+	if got := m.Level(lit.Var(1)); got != 0 {
+		t.Fatalf("Level(1)=%d, want 0", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Level on out-of-order variable should panic")
+		}
+	}()
+	m.Level(lit.Var(5))
+}

@@ -71,6 +71,12 @@ type Options struct {
 	// parallel pool uses it to enforce a single global decision budget
 	// across workers via a shared atomic counter.
 	OnDecision func() budget.Reason
+	// Manager, when non-nil, is used as the enumerator's solution-set
+	// manager instead of constructing a fresh one. The caller must hand
+	// it over empty (fresh or Reset) with its variable order equal to
+	// space.Vars(); ownership passes to the enumerator until the caller
+	// takes it back (e.g. a warm pool releasing it after the run).
+	Manager *bdd.Manager
 }
 
 // DefaultOptions enables both learning mechanisms.
@@ -84,7 +90,7 @@ func DefaultOptions() Options {
 func (o Options) IsZero() bool {
 	return !o.EnableMemo && !o.EnableLearning && o.MaxLearnedLen == 0 &&
 		o.MemoLimit == 0 && o.MaxDecisions == 0 && o.Budget.IsZero() &&
-		o.OnDecision == nil
+		o.OnDecision == nil && o.Manager == nil
 }
 
 // DefaultMemoLimit is the memo-table entry bound installed when
@@ -205,6 +211,10 @@ type Enumerator struct {
 // space (which become the BDD variable order, top to bottom).
 func New(f *cnf.Formula, space *cube.Space, opts Options) *Enumerator {
 	opts.Budget = opts.Budget.Materialize()
+	man := opts.Manager
+	if man == nil {
+		man = bdd.NewOrdered(space.Vars())
+	}
 	n := f.NumVars
 	e := &Enumerator{
 		opts:     opts,
@@ -218,7 +228,7 @@ func New(f *cnf.Formula, space *cube.Space, opts Options) *Enumerator {
 		proj:     space.Vars(),
 		isProj:   make([]bool, n),
 		space:    space,
-		man:      bdd.NewOrdered(space.Vars()),
+		man:      man,
 		memo:     make(map[sig128]bdd.Ref),
 	}
 	switch {

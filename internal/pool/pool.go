@@ -36,6 +36,7 @@ import (
 	"allsatpre/internal/cube"
 	"allsatpre/internal/lit"
 	"allsatpre/internal/partition"
+	rt "allsatpre/internal/runtime"
 	"allsatpre/internal/stats"
 )
 
@@ -64,6 +65,12 @@ type Options struct {
 	Budget budget.Budget
 	// Stats, when non-nil, receives the pool.* counters and gauges.
 	Stats *stats.Registry
+	// Runtime, when non-nil, supplies warm solver/manager pairs from its
+	// pool and — when it also carries a scheduler — runs the subcube
+	// jobs on the shared server-wide executors instead of spawning
+	// request-private worker goroutines. Nil keeps the classic
+	// fresh-build, private-goroutine behavior.
+	Runtime *rt.Runtime
 }
 
 // PoolStats aggregates the pool's own bookkeeping (the solver counters
@@ -109,6 +116,24 @@ type Result struct {
 	// cause.
 	Aborted bool
 	Reason  budget.Reason
+	// rt is the runtime the parent manager was acquired from, so Release
+	// can return it (nil for classic runs and Session results, where
+	// Release degrades to clearing the references).
+	rt *rt.Runtime
+}
+
+// Release returns the merged-set manager to the runtime pool the run
+// was configured with (a no-op without one) and clears Manager/Set.
+// Call it after the last use of either; not for Session results, whose
+// manager persists across runs.
+func (r *Result) Release() {
+	if r == nil || r.Manager == nil {
+		return
+	}
+	m := r.Manager
+	r.Manager = nil
+	r.Set = bdd.False
+	r.rt.P().ReleaseManager(m)
 }
 
 // Task words pack a subcube into one uint64 for the lock-free deque:
@@ -194,16 +219,6 @@ func Enumerate(f *cnf.Formula, space *cube.Space, opts Options) *Result {
 		thresh = DefaultSplitThreshold
 	}
 
-	deques := make([]*deque, workers)
-	for i := range deques {
-		deques[i] = newDeque()
-	}
-	for i, t := range tasks {
-		deques[i%workers].push(encodeTask(t))
-	}
-	var pending atomic.Int64
-	pending.Store(int64(len(tasks)))
-
 	var abortReason atomic.Int32
 	recordAbort := func(r budget.Reason) {
 		if r != budget.None && abortReason.CompareAndSwap(0, int32(r)) {
@@ -235,38 +250,69 @@ func Enumerate(f *cnf.Formula, space *cube.Space, opts Options) *Result {
 	}
 
 	msgs := make(chan mergeMsg, workers*4)
-	var wg sync.WaitGroup
-	for id := 0; id < workers; id++ {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			w := &worker{
-				id:          id,
-				f:           f,
-				space:       space,
-				core:        co,
-				thresh:      thresh,
-				deques:      deques,
-				pending:     &pending,
-				msgs:        msgs,
-				recordAbort: recordAbort,
-				aborted:     aborted,
-				prunedBy:    prunedBy,
-				addFail:     addFail,
-			}
-			w.run()
-		}(id)
+	if opts.Runtime.S() != nil {
+		// Scheduler mode: one job per subcube on the shared executors,
+		// warm enumerators handed out through a per-request stash capped
+		// at the worker count. complete() closes msgs when the last job
+		// finishes, so the merge loop below is unchanged.
+		r := &schedRun{
+			f:           f,
+			space:       space,
+			core:        co,
+			thresh:      thresh,
+			rt:          opts.Runtime,
+			stash:       make(chan *core.Enumerator, workers),
+			msgs:        msgs,
+			recordAbort: recordAbort,
+			aborted:     aborted,
+			prunedBy:    prunedBy,
+			addFail:     addFail,
+		}
+		r.start(tasks)
+	} else {
+		deques := make([]*deque, workers)
+		for i := range deques {
+			deques[i] = newDeque()
+		}
+		for i, t := range tasks {
+			deques[i%workers].push(encodeTask(t))
+		}
+		pending := new(atomic.Int64)
+		pending.Store(int64(len(tasks)))
+		var wg sync.WaitGroup
+		for id := 0; id < workers; id++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				w := &worker{
+					id:          id,
+					f:           f,
+					space:       space,
+					core:        co,
+					rt:          opts.Runtime,
+					thresh:      thresh,
+					deques:      deques,
+					pending:     pending,
+					msgs:        msgs,
+					recordAbort: recordAbort,
+					aborted:     aborted,
+					prunedBy:    prunedBy,
+					addFail:     addFail,
+				}
+				w.run()
+			}(id)
+		}
+		go func() {
+			wg.Wait()
+			close(msgs)
+		}()
 	}
-	go func() {
-		wg.Wait()
-		close(msgs)
-	}()
 
 	// Merge in this goroutine: disjoint subcube sets, so a pure Or. The
 	// parent manager honors the node cap by checking after each import —
 	// once it trips, later snapshots are dropped (sound: the set only
 	// shrinks) and the run reports the abort.
-	man := bdd.NewOrdered(space.Vars())
+	man := opts.Runtime.P().AcquireManager(space.Vars(), 0)
 	set := bdd.False
 	mergeDead := false
 	var total allsat.Stats
@@ -314,6 +360,7 @@ func Enumerate(f *cnf.Formula, space *cube.Space, opts Options) *Result {
 		Pool:    pst,
 		Aborted: abortReason.Load() != 0,
 		Reason:  budget.Reason(abortReason.Load()),
+		rt:      opts.Runtime,
 	}
 	publish(opts.Stats, res.Pool)
 	return res
@@ -324,6 +371,9 @@ func Enumerate(f *cnf.Formula, space *cube.Space, opts Options) *Result {
 func sequential(f *cnf.Formula, space *cube.Space, opts Options) *Result {
 	co := opts.Core
 	co.Budget = opts.Budget
+	if p := opts.Runtime.P(); p != nil {
+		co.Manager = p.AcquireManager(space.Vars(), 0)
+	}
 	e := core.New(f, space, co)
 	r := e.Enumerate()
 	res := &Result{
@@ -333,6 +383,7 @@ func sequential(f *cnf.Formula, space *cube.Space, opts Options) *Result {
 		Pool:    PoolStats{Workers: 1, Subcubes: 1},
 		Aborted: r.Aborted,
 		Reason:  r.Reason,
+		rt:      opts.Runtime,
 	}
 	publish(opts.Stats, res.Pool)
 	return res
@@ -348,7 +399,10 @@ type worker struct {
 	e *core.Enumerator
 	// base literals are assumed before every subcube's guiding-path
 	// assumptions (a Session's per-step activation literal).
-	base        []lit.Lit
+	base []lit.Lit
+	// rt, when non-nil and e is nil, supplies the fresh enumerator's
+	// manager from the warm pool and takes it back at exit.
+	rt          *rt.Runtime
 	thresh      uint64
 	deques      []*deque
 	pending     *atomic.Int64
@@ -362,7 +416,11 @@ type worker struct {
 func (w *worker) run() {
 	e := w.e
 	if e == nil {
-		e = core.New(w.f, w.space, w.core)
+		co := w.core
+		if p := w.rt.P(); p != nil {
+			co.Manager = p.AcquireManager(w.space.Vars(), 0)
+		}
+		e = core.New(w.f, w.space, co)
 	}
 	decBase := e.Stats().Decisions
 	my := w.deques[w.id]
@@ -438,6 +496,12 @@ func (w *worker) run() {
 	exit.nodes = e.Manager().NumNodes()
 	exit.decisions = e.Stats().Decisions - decBase
 	w.msgs <- mergeMsg{exit: &exit}
+	if w.e == nil {
+		// The enumerator was built for this run: its manager can go back
+		// to the warm pool now that the exit report copied its counters
+		// (snapshots are deep copies, so the merge never touches it).
+		w.rt.P().ReleaseManager(e.Manager())
+	}
 }
 
 // EnumerateToResult converts a pooled run to the shared allsat result
@@ -454,6 +518,7 @@ func EnumerateToResult(f *cnf.Formula, space *cube.Space, opts Options) *allsat.
 		Reason:  r.Reason,
 	}
 	out.Stats.Cubes = uint64(out.Cover.Len())
+	r.Release()
 	return out
 }
 

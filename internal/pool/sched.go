@@ -1,0 +1,193 @@
+package pool
+
+// Scheduler-mode enumeration: when Options.Runtime carries a shared
+// runtime.Scheduler, the pooled run submits one job per subcube to the
+// server-wide executor pool instead of spinning up request-private
+// worker goroutines. Enumerators are not pinned to executors — a
+// per-request stash hands warm enumerators to whichever executor picks
+// the next job, capped at the resolved worker count, so a request uses
+// at most that many solver/manager pairs while its jobs interleave with
+// every other tenant's on the shared executors.
+//
+// Deadlock freedom of the blocking stash receive: an executor blocks in
+// acquire only when all of the request's enumerators exist and none is
+// stashed — each is then held by a job that is currently running on
+// some executor and returns it before finishing. If every executor were
+// blocked in acquire, no holder would be running and every enumerator
+// would be stashed, contradicting the block. So some holder always
+// runs, and the stash receive terminates.
+
+import (
+	"sync/atomic"
+
+	"allsatpre/internal/bdd"
+	"allsatpre/internal/budget"
+	"allsatpre/internal/cnf"
+	"allsatpre/internal/core"
+	"allsatpre/internal/cube"
+	"allsatpre/internal/lit"
+	"allsatpre/internal/partition"
+	rt "allsatpre/internal/runtime"
+)
+
+// schedRun is the per-request state of a scheduler-mode enumeration. It
+// plays the role the worker fleet plays in the classic mode: the merge
+// loop in Enumerate is identical, fed by the same mergeMsg channel.
+type schedRun struct {
+	f      *cnf.Formula
+	space  *cube.Space
+	core   core.Options
+	thresh uint64
+	rt     *rt.Runtime
+
+	// stash holds idle warm enumerators; its capacity is the enumerator
+	// cap (the resolved worker count). created counts how many actually
+	// exist, so completion knows how many to drain.
+	stash   chan *core.Enumerator
+	created atomic.Int32
+
+	pending atomic.Int64
+	msgs    chan<- mergeMsg
+
+	recordAbort func(budget.Reason)
+	aborted     func() bool
+	prunedBy    func(partition.Subcube) bool
+	addFail     func([]lit.Lit)
+
+	splits atomic.Uint64
+	unsat  atomic.Uint64
+	pruned atomic.Uint64
+	done   atomic.Uint64
+}
+
+// start submits the initial subcubes. The merge loop in Enumerate then
+// runs until complete() closes msgs after the last job finishes.
+func (r *schedRun) start(tasks []partition.Subcube) {
+	r.pending.Store(int64(len(tasks)))
+	for _, t := range tasks {
+		r.submit(t)
+	}
+}
+
+func (r *schedRun) submit(t partition.Subcube) {
+	r.rt.S().Submit(r.rt.Tenant, func() { r.process(t) })
+}
+
+// acquire hands out a warm enumerator: a stashed one if available, a
+// fresh one (with a pooled manager) while under the cap, else it blocks
+// until a running job returns one — see the deadlock-freedom argument
+// in the package comment above.
+func (r *schedRun) acquire() *core.Enumerator {
+	select {
+	case e := <-r.stash:
+		return e
+	default:
+	}
+	if int(r.created.Add(1)) <= cap(r.stash) {
+		co := r.core
+		if p := r.rt.P(); p != nil {
+			co.Manager = p.AcquireManager(r.space.Vars(), 0)
+		}
+		return core.New(r.f, r.space, co)
+	}
+	r.created.Add(-1)
+	return <-r.stash
+}
+
+func (r *schedRun) release(e *core.Enumerator) { r.stash <- e }
+
+// process runs one subcube job. Aborted runs still walk every queued
+// job through the fast path so pending always reaches zero and the
+// stream is properly closed.
+func (r *schedRun) process(t partition.Subcube) {
+	r.done.Add(1)
+	if r.aborted() {
+		r.finish()
+		return
+	}
+	if r.prunedBy(t) {
+		r.pruned.Add(1)
+		r.finish()
+		return
+	}
+	e := r.acquire()
+	buf := t.Assumptions(r.space, nil)
+	limit := r.thresh
+	if _, _, can := t.Children(r.space); !can {
+		limit = 0 // cannot split further: run the subcube to completion
+	}
+	sub := e.EnumerateUnder(buf, limit)
+	if sub.Status == core.SubSplit {
+		lo, hi, _ := t.Children(r.space)
+		r.splits.Add(1)
+		r.release(e)
+		if sub.Aborted {
+			r.recordAbort(sub.Reason)
+		}
+		// Two children in, one parent out; the parent is not terminal,
+		// so no finish() here.
+		r.pending.Add(1)
+		r.submit(lo)
+		r.submit(hi)
+		return
+	}
+	var msg mergeMsg
+	msg.stats = sub.Stats
+	switch sub.Status {
+	case core.SubSAT:
+		if sub.Set != bdd.False {
+			msg.snap = e.Manager().Export(sub.Set)
+		}
+	case core.SubUnsatAssumps:
+		r.addFail(sub.Failed)
+		r.unsat.Add(1)
+	case core.SubGlobalUnsat:
+		// UNSAT independent of assumptions: the empty pattern subsumes
+		// (and prunes) every remaining subcube.
+		r.addFail(nil)
+	}
+	r.release(e)
+	if sub.Aborted {
+		r.recordAbort(sub.Reason)
+	}
+	r.msgs <- msg
+	r.finish()
+}
+
+func (r *schedRun) finish() {
+	if r.pending.Add(-1) == 0 {
+		r.complete()
+	}
+}
+
+// complete drains the stash — every enumerator is idle once pending
+// hits zero — publishing one exit report per enumerator (the moral
+// equivalent of a worker) and returning the managers to the pool, then
+// closes the stream so the merge loop in Enumerate can finish.
+func (r *schedRun) complete() {
+	shared := workerExit{
+		splits: r.splits.Load(),
+		unsat:  r.unsat.Load(),
+		pruned: r.pruned.Load(),
+		done:   r.done.Load(),
+	}
+	n := int(r.created.Load())
+	if n == 0 {
+		r.msgs <- mergeMsg{exit: &shared}
+		close(r.msgs)
+		return
+	}
+	for i := 0; i < n; i++ {
+		e := <-r.stash
+		exit := workerExit{}
+		if i == 0 {
+			exit = shared // request-wide counters ride on the first report
+		}
+		exit.kernel = e.Manager().Kernel()
+		exit.nodes = e.Manager().NumNodes()
+		exit.decisions = e.Stats().Decisions
+		r.rt.P().ReleaseManager(e.Manager())
+		r.msgs <- mergeMsg{exit: &exit}
+	}
+	close(r.msgs)
+}

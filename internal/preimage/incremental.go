@@ -205,7 +205,7 @@ func forwardReachIncremental(c *circuit.Circuit, init *cube.Cover, maxSteps int,
 				AbortReason: st.Reason,
 			}, time.Since(start))
 		}
-		imgCover := expandNextCover(sess.Instance().NextVars, sess.ProjSpace(),
+		imgCover := ExpandNextCover(sess.Instance().NextVars, sess.ProjSpace(),
 			sess.Manager().ISOP(st.Set, sess.ProjSpace()), stateSpace)
 		imgCover.Reduce()
 		imgSet := man.FromCover(imgCover)

@@ -38,6 +38,7 @@ import (
 	"allsatpre/internal/cube"
 	"allsatpre/internal/lit"
 	"allsatpre/internal/pool"
+	rt "allsatpre/internal/runtime"
 	"allsatpre/internal/simplify"
 	"allsatpre/internal/stats"
 	"allsatpre/internal/trans"
@@ -166,6 +167,15 @@ type Options struct {
 	// reachability loops. Safe for concurrent use; snapshot or serve it
 	// while the computation is in flight.
 	Stats *stats.Registry
+	// Runtime, when non-nil, executes the computation on the shared
+	// pooled runtime: solvers and BDD managers come warm from its
+	// free-list instead of being rebuilt per request, and — when it also
+	// carries a scheduler — the parallel engines run their subcube jobs
+	// on the server-wide executor pool under the runtime's tenant label.
+	// Results are bit-identical either way; nil keeps the classic
+	// build-per-request behavior. Incremental sessions ignore it (their
+	// solvers persist across steps by design).
+	Runtime *rt.Runtime
 }
 
 // Result is a preimage: the set of predecessor states.
@@ -298,12 +308,16 @@ func runSATEngine(f *cnf.Formula, projSpace *cube.Space, opts Options) (*allsat.
 func runSATEngineSimplified(f *cnf.Formula, projSpace *cube.Space, opts Options) (*allsat.Result, error) {
 	switch opts.Engine {
 	case EngineSuccessDriven:
-		_, ar := runSuccessDriven(f, projSpace, opts)
+		pr, ar := runSuccessDriven(f, projSpace, opts)
+		pr.Release() // the cover/count are extracted; the manager can go back warm
 		return ar, nil
 	case EngineBlocking, EngineLifting, EngineDisjoint:
 		as := opts.AllSAT
 		if as.Budget.IsZero() {
 			as.Budget = opts.Budget
+		}
+		if as.Runtime == nil {
+			as.Runtime = opts.Runtime
 		}
 		if opts.Parallel > 1 && as.Workers == 0 {
 			as.Workers = opts.Parallel
@@ -345,6 +359,7 @@ func runSuccessDriven(f *cnf.Formula, projSpace *cube.Space, opts Options) (*poo
 		Core:    co,
 		Budget:  bud,
 		Stats:   opts.Stats,
+		Runtime: opts.Runtime,
 	})
 	ar := &allsat.Result{
 		Space:   projSpace,
@@ -620,8 +635,9 @@ func computeSAT(c *circuit.Circuit, target *cube.Cover, opts Options) (*Result, 
 			out.Set = opts.ShareManager.Import(snap)
 			out.HasSet = true
 		}
+		pr.Release()
 	} else {
-		out.Count = countStates(states)
+		out.Count = countStates(states, opts.Runtime)
 	}
 	if opts.WithInputs {
 		// Re-express the projection cover over (state ++ input) order.
@@ -651,8 +667,12 @@ func pairSpace(inst *trans.Instance) *cube.Space {
 	return cube.NewNamedSpace(vars, names)
 }
 
-// countStates counts the minterms of a state cover exactly via a BDD.
-func countStates(cv *cube.Cover) *big.Int {
-	m := bdd.NewOrdered(cv.Space().Vars())
-	return m.SatCount(m.FromCover(cv))
+// countStates counts the minterms of a state cover exactly via a BDD,
+// borrowing the counting manager from the runtime pool when one is
+// available (r may be nil).
+func countStates(cv *cube.Cover, r *rt.Runtime) *big.Int {
+	m := r.P().AcquireManager(cv.Space().Vars(), 0)
+	n := m.SatCount(m.FromCover(cv))
+	r.P().ReleaseManager(m)
+	return n
 }

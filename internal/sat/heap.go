@@ -102,6 +102,14 @@ func (h *varHeap) decrease(v lit.Var) {
 	}
 }
 
+// reset empties the heap while keeping both backing arrays; grow
+// re-appends the -1 sentinels into retained capacity as variables
+// return after a Solver.Reset.
+func (h *varHeap) reset() {
+	h.heap = h.heap[:0]
+	h.indices = h.indices[:0]
+}
+
 // rebuild re-heapifies the whole heap (after a global rescale the relative
 // order is unchanged, so this is only needed when activities are reset).
 func (h *varHeap) rebuild() {

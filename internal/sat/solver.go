@@ -185,6 +185,15 @@ func NewDefault() *Solver { return New(DefaultOptions()) }
 // FromFormula creates a solver preloaded with the clauses of f.
 func FromFormula(f *cnf.Formula, opts Options) *Solver {
 	s := New(opts)
+	s.LoadFormula(f)
+	return s
+}
+
+// LoadFormula bulk-loads f's clauses with up-front pre-sizing of the
+// variable slices, the clause list, and the arena — the loading path
+// shared by FromFormula and Reset-reused solvers from the warm pool.
+// It returns false if the clause set is unsatisfiable at the top level.
+func (s *Solver) LoadFormula(f *cnf.Formula) bool {
 	s.EnsureVars(f.NumVars)
 	s.clauses = slices.Grow(s.clauses, len(f.Clauses))
 	total := 0
@@ -192,10 +201,13 @@ func FromFormula(f *cnf.Formula, opts Options) *Solver {
 		total += len(c) + 1
 	}
 	s.ca.data = slices.Grow(s.ca.data, total)
+	ok := true
 	for _, c := range f.Clauses {
-		s.AddClause(c...)
+		if !s.AddClause(c...) {
+			ok = false
+		}
 	}
-	return s
+	return ok
 }
 
 // NumVars returns the number of variables known to the solver.
@@ -244,8 +256,8 @@ func (s *Solver) NewVar() lit.Var {
 	s.polarity = append(s.polarity, true) // default phase: false
 	s.activity = append(s.activity, 0)
 	s.seen = append(s.seen, 0)
-	s.watches = append(s.watches, nil, nil)
-	s.binWatches = append(s.binWatches, nil, nil)
+	s.watches = extendWatchLists(s.watches)
+	s.binWatches = extendWatchLists(s.binWatches)
 	s.order.insert(v)
 	return v
 }

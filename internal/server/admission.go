@@ -1,62 +1,136 @@
 package server
 
 import (
+	"context"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"allsatpre/internal/stats"
 )
 
-// admission is the semaphore-based concurrency gate in front of every
-// solve (one-shot streams and session steps alike). Enumeration is
-// CPU-bound: admitting more solves than cores only adds scheduler
-// churn and lets a burst of tenants push each other past their
-// wall-clock budgets. Saturated requests are rejected immediately with
-// 429 + Retry-After rather than queued — the client holds the retry
-// policy, the server holds the cap.
+// admission is the concurrency gate in front of every solve (one-shot
+// streams and session steps alike). Enumeration is CPU-bound: admitting
+// more solves than cores only adds scheduler churn and lets a burst of
+// tenants push each other past their wall-clock budgets. At saturation
+// a request first waits in a bounded FIFO queue (blocked channel sends
+// are served in arrival order) for up to maxWait; only when the queue
+// is full, the wait times out, or waiting is disabled does it get 429 +
+// Retry-After. The hint is not a fixed constant: it extrapolates the
+// observed drain rate — an EWMA of how long admitted solves hold their
+// slot — across the queue ahead of the caller.
 type admission struct {
 	sem      chan struct{}
+	slots    int
+	maxWait  time.Duration // 0 disables waiting: immediate 429 at saturation
+	maxQueue int           // waiter cap while maxWait > 0
+
+	waiters atomic.Int64
+	holdNs  atomic.Int64 // EWMA of slot hold time, nanoseconds
+
 	active   *stats.Counter // admitted, for the gauge pair below
 	released *stats.Counter
 	rejected *stats.Counter
+	queued   *stats.Counter // entered the wait queue
+	timedOut *stats.Counter // left it on deadline
 }
 
-func newAdmission(n int, reg *stats.Registry) *admission {
+func newAdmission(n int, maxWait time.Duration, maxQueue int, reg *stats.Registry) *admission {
+	if maxQueue <= 0 {
+		maxQueue = 2 * n
+	}
 	return &admission{
 		sem:      make(chan struct{}, n),
+		slots:    n,
+		maxWait:  maxWait,
+		maxQueue: maxQueue,
 		active:   reg.Counter("server.admitted"),
 		released: reg.Counter("server.completed"),
 		rejected: reg.Counter("server.rejected"),
+		queued:   reg.Counter("server.queue-entered"),
+		timedOut: reg.Counter("server.queue-timeout"),
 	}
 }
 
-// tryAcquire claims a solve slot without blocking.
-func (a *admission) tryAcquire() bool {
+// admitTok carries the admission timestamp so release can fold the
+// slot's hold time into the drain-rate estimate.
+type admitTok struct{ t0 time.Time }
+
+// acquire claims a solve slot, waiting in the bounded queue when the
+// gate is saturated. False means the caller must answer 429.
+func (a *admission) acquire(ctx context.Context) (admitTok, bool) {
 	select {
 	case a.sem <- struct{}{}:
 		a.active.Inc()
-		return true
+		return admitTok{t0: time.Now()}, true
 	default:
+	}
+	if a.maxWait <= 0 {
 		a.rejected.Inc()
-		return false
+		return admitTok{}, false
+	}
+	if a.waiters.Add(1) > int64(a.maxQueue) {
+		a.waiters.Add(-1)
+		a.rejected.Inc()
+		return admitTok{}, false
+	}
+	defer a.waiters.Add(-1)
+	a.queued.Inc()
+	timer := time.NewTimer(a.maxWait)
+	defer timer.Stop()
+	select {
+	case a.sem <- struct{}{}:
+		a.active.Inc()
+		return admitTok{t0: time.Now()}, true
+	case <-timer.C:
+		a.timedOut.Inc()
+		a.rejected.Inc()
+		return admitTok{}, false
+	case <-ctx.Done():
+		a.rejected.Inc()
+		return admitTok{}, false
 	}
 }
 
-func (a *admission) release() {
+func (a *admission) release(tok admitTok) {
 	<-a.sem
+	held := time.Since(tok.t0).Nanoseconds()
+	// EWMA with alpha 1/4: old + (sample-old)/4. Lossy under races, which
+	// is fine for a retry hint.
+	old := a.holdNs.Load()
+	a.holdNs.Store(old + (held-old)/4)
 	a.released.Inc()
 }
 
-// admit gates a handler: on saturation it writes the 429 and reports
-// false; on success the caller must defer release().
-func (s *Server) admit(w http.ResponseWriter) bool {
-	if s.adm.tryAcquire() {
-		return true
+// retryAfter estimates when a slot is likely to be free for THIS caller:
+// everyone already waiting drains ahead of it, so the queue depth plus
+// one, spread over the slots, times the observed per-solve hold time.
+// Falls back to the configured constant before any solve has completed.
+func (a *admission) retryAfter(fallback time.Duration) time.Duration {
+	hold := time.Duration(a.holdNs.Load())
+	if hold <= 0 {
+		return fallback
 	}
-	secs := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+	d := hold * time.Duration(a.waiters.Load()+1) / time.Duration(a.slots)
+	if d < time.Second {
+		d = time.Second
+	}
+	return d
+}
+
+// admit gates a handler: on saturation (queue full or wait expired) it
+// writes the 429 and reports ok=false; on success the caller must defer
+// release(tok).
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (admitTok, bool) {
+	tok, ok := s.adm.acquire(r.Context())
+	if ok {
+		return tok, true
+	}
+	ra := s.adm.retryAfter(s.cfg.RetryAfter)
+	secs := int((ra + time.Second - 1) / time.Second)
 	w.Header().Set("Retry-After", strconv.Itoa(secs))
 	httpError(w, http.StatusTooManyRequests,
 		"solver capacity saturated; retry after the indicated delay")
-	return false
+	return admitTok{}, false
 }

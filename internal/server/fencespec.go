@@ -1,0 +1,84 @@
+package server
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"allsatpre/internal/budget"
+)
+
+// ParseFenceSpec parses the -tenant-fences flag syntax into a per-tenant
+// fence table:
+//
+//	tenant:key=value[,key=value...][;tenant:...]
+//
+// with keys timeout (a duration), conflicts, decisions, cubes
+// (non-negative integers), and bdd-nodes. Example:
+//
+//	"alice:timeout=30s,cubes=100000;bob:timeout=2s,conflicts=50000"
+//
+// A listed tenant's fence REPLACES the global fence entirely (unset keys
+// mean no ceiling on that axis), so operators can both tighten and
+// loosen per tenant. An empty spec yields an empty (nil) table.
+func ParseFenceSpec(spec string) (map[string]budget.Fence, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	out := make(map[string]budget.Fence)
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		tenant, body, ok := strings.Cut(entry, ":")
+		tenant = strings.TrimSpace(tenant)
+		if !ok || tenant == "" {
+			return nil, fmt.Errorf("fence spec entry %q: want tenant:key=value[,...]", entry)
+		}
+		if _, dup := out[tenant]; dup {
+			return nil, fmt.Errorf("fence spec: tenant %q listed twice", tenant)
+		}
+		var f budget.Fence
+		for _, kv := range strings.Split(body, ",") {
+			key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+			if !ok {
+				return nil, fmt.Errorf("fence spec entry for %q: %q is not key=value", tenant, kv)
+			}
+			key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+			switch key {
+			case "timeout":
+				d, err := time.ParseDuration(val)
+				if err != nil || d < 0 {
+					return nil, fmt.Errorf("fence spec %s/%s: bad duration %q", tenant, key, val)
+				}
+				f.MaxTimeout = d
+			case "conflicts", "decisions", "cubes":
+				n, err := strconv.ParseUint(val, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("fence spec %s/%s: bad count %q", tenant, key, val)
+				}
+				switch key {
+				case "conflicts":
+					f.MaxConflicts = n
+				case "decisions":
+					f.MaxDecisions = n
+				case "cubes":
+					f.MaxCubes = n
+				}
+			case "bdd-nodes":
+				n, err := strconv.Atoi(val)
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("fence spec %s/%s: bad count %q", tenant, key, val)
+				}
+				f.MaxBDDNodes = n
+			default:
+				return nil, fmt.Errorf("fence spec %s: unknown key %q (want timeout, conflicts, decisions, cubes, bdd-nodes)", tenant, key)
+			}
+		}
+		out[tenant] = f
+	}
+	return out, nil
+}

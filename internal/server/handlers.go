@@ -115,6 +115,9 @@ type streamIterator interface {
 	Next() (cube.Cube, bool)
 	Reason() budget.Reason
 	Stats() allsat.Stats
+	// Close ends the iteration and returns pooled solvers to the warm
+	// runtime (captured stats stay valid afterwards).
+	Close()
 }
 
 // handleEnumerate streams the solutions of a DIMACS payload projected
@@ -171,14 +174,16 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	if !s.admit(w) {
+	tok, ok := s.admit(w, r)
+	if !ok {
 		return
 	}
-	defer s.adm.release()
+	defer s.adm.release(tok)
 
 	ctx, cancel := s.solveContext(r)
 	defer cancel()
-	bud := s.cfg.Fence.Clamp(ctx, reqBudget).Materialize()
+	bud := s.fenceFor(r).Clamp(ctx, reqBudget).Materialize()
+	run := s.runtimeFor(r)
 	space := cube.NewSpace(proj)
 
 	start := time.Now()
@@ -188,22 +193,18 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 		Projection: dimacsVars(proj), Workers: workers,
 	})
 
-	opts := allsat.Options{Budget: bud, Workers: workers, Simplify: smode}
+	opts := allsat.Options{Budget: bud, Workers: workers, Simplify: smode, Runtime: run}
 	var summary summaryEvent
 	if engine == "success" {
 		// The success-driven enumerator stores solutions as an ROBDD, so
 		// there is no cube iterator to drain: run to completion, then
-		// stream the resulting cover.
-		var res *allsat.Result
-		if workers > 1 {
-			res = pool.EnumerateToResult(f, space, pool.Options{
-				Workers: workers, Core: core.DefaultOptions(), Budget: bud, Stats: s.reg,
-			})
-		} else {
-			co := core.DefaultOptions()
-			co.Budget = bud
-			res = core.EnumerateToResult(f, space, co)
-		}
+		// stream the resulting cover. The pool entry point handles every
+		// worker count (one short-circuits to the sequential enumerator)
+		// and returns its manager to the warm pool after the extraction.
+		res := pool.EnumerateToResult(f, space, pool.Options{
+			Workers: workers, Core: core.DefaultOptions(), Budget: bud,
+			Stats: s.reg, Runtime: run,
+		})
 		for _, c := range res.Cover.Cubes() {
 			sw.cube(c.String())
 			if sw.failed() {
@@ -214,24 +215,19 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 		summary.Count = res.Count.String()
 	} else {
 		var it streamIterator
-		var stop func()
 		if workers > 1 {
-			var pit *allsat.ParallelIterator
 			if engine == "disjoint" {
-				pit = allsat.NewParallelDisjointIterator(f, space, opts)
+				it = allsat.NewParallelDisjointIterator(f, space, opts)
 			} else {
-				pit = allsat.NewParallelIterator(f, space, opts, engine == "lifting")
+				it = allsat.NewParallelIterator(f, space, opts, engine == "lifting")
 			}
-			it, stop = pit, pit.Stop
 		} else if engine == "disjoint" {
 			it = allsat.NewDisjointIterator(f, space, opts)
 		} else {
 			it = allsat.NewIterator(f, space, opts, engine == "lifting")
 		}
 		reason := s.streamCubes(ctx, sw, it, bud.MaxCubes, cancel)
-		if stop != nil {
-			stop() // release parallel workers on early exit
-		}
+		it.Close() // release workers; pooled solvers go back warm
 		summary = s.summarize(it.Stats(), sw.sent, reason, time.Since(start).Milliseconds())
 	}
 	sw.emit(summary)
@@ -302,17 +298,19 @@ func (s *Server) handlePreimage(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	if !s.admit(w) {
+	tok, ok := s.admit(w, r)
+	if !ok {
 		return
 	}
-	defer s.adm.release()
+	defer s.adm.release(tok)
 	ctx, cancel := s.solveContext(r)
 	defer cancel()
-	bud := s.cfg.Fence.Clamp(ctx, reqBudget)
+	bud := s.fenceFor(r).Clamp(ctx, reqBudget)
 
 	start := time.Now()
 	res, err := preimage.Compute(c, target, preimage.Options{
 		Engine: eng, Parallel: workers, Budget: bud, Stats: s.reg,
+		Runtime: s.runtimeFor(r),
 	})
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, "preimage: %v", err)
@@ -406,7 +404,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	reqBudget.MaxDecisions = req.MaxDecisions
 	reqBudget.MaxCubes = req.MaxCubes
 	reqBudget.MaxBDDNodes = req.MaxBDDNodes
-	bud := s.cfg.Fence.Clamp(nil, reqBudget)
+	bud := s.fenceFor(r).Clamp(nil, reqBudget)
 
 	id := req.Name
 	if id == "" {
@@ -468,10 +466,11 @@ func (s *Server) handleSessionStep(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "no session %q", r.PathValue("id"))
 		return
 	}
-	if !s.admit(w) {
+	tok, ok := s.admit(w, r)
+	if !ok {
 		return
 	}
-	defer s.adm.release()
+	defer s.adm.release(tok)
 
 	start := time.Now()
 	sess.mu.Lock()

@@ -31,10 +31,12 @@ package server
 import (
 	"context"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"time"
 
 	"allsatpre/internal/budget"
+	rt "allsatpre/internal/runtime"
 	"allsatpre/internal/stats"
 )
 
@@ -56,9 +58,37 @@ type Config struct {
 	// MaxWorkers caps the per-request worker count. <= 0 selects
 	// GOMAXPROCS.
 	MaxWorkers int
-	// RetryAfter is the hint returned with 429 responses. <= 0 selects
-	// one second.
+	// RetryAfter is the hint returned with 429 responses before any solve
+	// has completed (afterwards the hint extrapolates the observed queue
+	// drain time). <= 0 selects one second.
 	RetryAfter time.Duration
+	// AdmissionWait lets a request at a saturated gate wait in a bounded
+	// FIFO queue for up to this long before getting 429. 0 keeps the
+	// classic immediate-reject behavior.
+	AdmissionWait time.Duration
+	// AdmissionQueue caps how many requests may wait at once when
+	// AdmissionWait > 0. <= 0 selects 2×MaxConcurrent.
+	AdmissionQueue int
+	// PoolBytes is the byte ceiling of the warm solver/manager free-list
+	// (internal/runtime): released instances above it are dropped,
+	// largest first. 0 selects runtime.DefaultMaxBytes; < 0 disables the
+	// pooled runtime entirely (every request rebuilds from scratch).
+	PoolBytes int64
+	// SchedWorkers sizes the server-wide executor pool that runs all
+	// requests' subcube jobs with per-tenant fair share. 0 selects
+	// MaxConcurrent; < 0 disables the shared scheduler (parallel
+	// requests then spawn private goroutines as before).
+	SchedWorkers int
+	// TenantHeader names the request header carrying the tenant id used
+	// for fair-share scheduling and per-tenant fences. Empty selects
+	// "X-Tenant".
+	TenantHeader string
+	// TenantFences overrides Fence for specific tenant ids; tenants not
+	// listed fall back to the global Fence.
+	TenantFences map[string]budget.Fence
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ (off by
+	// default: profiling endpoints leak heap contents and timing).
+	EnablePprof bool
 	// Stats, when non-nil, receives the server.* counters, gauges, and
 	// per-engine latency histograms alongside whatever engine counters
 	// the registry already collects.
@@ -87,6 +117,12 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.SchedWorkers == 0 {
+		c.SchedWorkers = c.MaxConcurrent
+	}
+	if c.TenantHeader == "" {
+		c.TenantHeader = "X-Tenant"
+	}
 	return c
 }
 
@@ -98,6 +134,7 @@ type Server struct {
 	cfg      Config
 	adm      *admission
 	store    *sessionStore
+	rt       *rt.Runtime // nil when both pool and scheduler are disabled
 	reg      *stats.Registry // never nil; a discard registry when unset
 	shutdown chan struct{}
 }
@@ -114,9 +151,40 @@ func New(cfg Config) *Server {
 		reg:      reg,
 		shutdown: make(chan struct{}),
 	}
-	s.adm = newAdmission(cfg.MaxConcurrent, reg)
+	s.adm = newAdmission(cfg.MaxConcurrent, cfg.AdmissionWait, cfg.AdmissionQueue, reg)
 	s.store = newSessionStore(cfg.MaxSessions, reg)
+
+	// The pooled runtime: a warm solver/manager free-list plus the
+	// server-wide fair-share executor pool. Either half can be disabled
+	// independently; with both off s.rt stays nil and every engine runs
+	// its classic build-per-request path.
+	var run rt.Runtime
+	if cfg.PoolBytes >= 0 {
+		run.Pool = rt.NewPool(rt.PoolOptions{MaxBytes: cfg.PoolBytes, Stats: reg})
+	}
+	if cfg.SchedWorkers > 0 {
+		run.Sched = rt.NewScheduler(cfg.SchedWorkers, reg)
+	}
+	if run.Pool != nil || run.Sched != nil {
+		s.rt = &run
+	}
 	return s
+}
+
+// runtimeFor labels the shared runtime with the request's tenant id so
+// the scheduler can fair-share across tenants; nil when the pooled
+// runtime is disabled.
+func (s *Server) runtimeFor(r *http.Request) *rt.Runtime {
+	return s.rt.WithTenant(r.Header.Get(s.cfg.TenantHeader))
+}
+
+// fenceFor picks the budget fence for the request's tenant: an entry in
+// TenantFences keyed by the tenant header, else the global fence.
+func (s *Server) fenceFor(r *http.Request) budget.Fence {
+	if f, ok := s.cfg.TenantFences[r.Header.Get(s.cfg.TenantHeader)]; ok {
+		return f
+	}
+	return s.cfg.Fence
 }
 
 // Handler returns the service's routing table. Mount it as the root
@@ -134,6 +202,13 @@ func (s *Server) Handler() http.Handler {
 		w.WriteHeader(http.StatusOK)
 	})
 	mux.Handle("GET /debug/stats", s.reg.Handler())
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -150,9 +225,15 @@ func (s *Server) BeginShutdown() {
 	}
 }
 
-// Close releases every live session. Call after the HTTP server has
-// stopped accepting requests.
-func (s *Server) Close() { s.store.closeAll() }
+// Close releases every live session and stops the shared scheduler
+// executors (draining queued jobs first). Call after the HTTP server
+// has stopped accepting requests.
+func (s *Server) Close() {
+	s.store.closeAll()
+	if sched := s.rt.S(); sched != nil {
+		sched.Close()
+	}
+}
 
 // solveContext derives the context a solve runs under: cancelled when
 // the client goes away (request context) or when the server drains

@@ -21,6 +21,10 @@ GOMAXPROCS=4 go test -race -run 'TestDeterministic|TestAbortSoundness' ./interna
 GOMAXPROCS=1 go test -run 'TestSimplify' ./internal/preimage/
 GOMAXPROCS=4 go test -race -run 'TestSimplify' ./internal/preimage/
 go test -run '^$' -bench 'Table|ParallelEnumerate|ReachIncremental|Simplify' -benchtime=1x -benchmem .
+# Loadbench smoke: one request per mode through BenchmarkServerLoad
+# (scripts/loadbench.sh runs the real measurement). Catches harness rot
+# in the pooled-vs-classic server benchmark without paying for 64x2 runs.
+go test -run '^$' -bench ServerLoad -benchtime=1x -benchmem ./internal/server/
 
 # Service smoke test: boot cmd/serve on a random port, stream a small
 # enumeration, create/step/evict a session, and drain on SIGTERM. This
